@@ -1,0 +1,178 @@
+package pimzdtree
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§7). Each benchmark drives the corresponding experiment in
+// internal/bench and reports the headline modeled metric via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the paper's
+// numbers (at reproduction scale — see EXPERIMENTS.md for the mapping).
+//
+// The wall-clock ns/op of these benchmarks measures the simulator, not the
+// index; the meaningful outputs are the custom metrics (modeled Mop/s,
+// bytes/element, slowdown factors).
+
+import (
+	"strings"
+	"testing"
+
+	"pimzdtree/internal/bench"
+	"pimzdtree/internal/workload"
+)
+
+// benchParams scales the experiments for benchmark runs.
+func benchParams() bench.Params {
+	return bench.Params{Seed: 42, WarmupN: 120_000, BatchOps: 24_000, Dims: 3, P: 1024}
+}
+
+// reportFig5 publishes the PIM-zd-tree headline numbers of a Fig. 5 run.
+func reportFig5(b *testing.B, rows []bench.Fig5Row) {
+	for _, r := range rows {
+		if r.System != "PIM-zd-tree" {
+			continue
+		}
+		switch r.Op {
+		case "Insert", "BC-10", "BF-10", "10-NN":
+			b.ReportMetric(r.Throughput/1e6, r.Op+"-Mop/s")
+			b.ReportMetric(r.Traffic, r.Op+"-B/elem")
+		}
+	}
+}
+
+// BenchmarkFig5Uniform regenerates Fig. 5(a): the ten-operation comparison
+// on uniform random data.
+func BenchmarkFig5Uniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig5(workload.DatasetUniform, benchParams())
+		if i == b.N-1 {
+			reportFig5(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig5Cosmos regenerates Fig. 5(b): the COSMOS-like dataset.
+func BenchmarkFig5Cosmos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig5(workload.DatasetCosmos, benchParams())
+		if i == b.N-1 {
+			reportFig5(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig5OSM regenerates Fig. 5(c): the OSM-like dataset.
+func BenchmarkFig5OSM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig5(workload.DatasetOSM, benchParams())
+		if i == b.N-1 {
+			reportFig5(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig6Breakdown regenerates Fig. 6: CPU/PIM/communication split.
+func BenchmarkFig6Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig6(benchParams())
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Op == "Insert" || r.Op == "100-NN" {
+					b.ReportMetric(r.PIMFrac, r.Op+"-PIMfrac")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig7BatchSize regenerates Fig. 7: INSERT vs batch size.
+func BenchmarkFig7BatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig7(benchParams())
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].Throughput/1e6, "smallest-Mop/s")
+			b.ReportMetric(rows[len(rows)-1].Throughput/1e6, "largest-Mop/s")
+		}
+	}
+}
+
+// BenchmarkFig8DatasetSize regenerates Fig. 8: 1-NN vs base dataset size.
+func BenchmarkFig8DatasetSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig8(benchParams())
+		if i == b.N-1 {
+			var first, last float64
+			for _, r := range rows {
+				if r.System == "PIM-zd-tree" {
+					if first == 0 {
+						first = r.Throughput
+					}
+					last = r.Throughput
+				}
+			}
+			b.ReportMetric(first/last, "stability-ratio")
+		}
+	}
+}
+
+// BenchmarkFig9Skew regenerates Fig. 9: throughput under Varden mixes.
+func BenchmarkFig9Skew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig9(benchParams())
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.VardenFrac == 0.02 {
+					b.ReportMetric(r.Throughput/1e6, r.Tuning+"@2%-Mop/s")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Configs measures the two Table 2 configurations.
+func BenchmarkTable2Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table2(benchParams())
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.SearchBytesOp, r.Tuning+"-B/op")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3Ablations regenerates Table 3: per-technique slowdowns.
+func BenchmarkTable3Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table3(benchParams())
+		if i == b.N-1 {
+			for _, r := range rows {
+				name := strings.ReplaceAll(r.Technique, " ", "-")
+				for op, v := range r.Slowdowns {
+					b.ReportMetric(v, name+"/"+op+"-slowdown")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkLatencyP99 regenerates the §7.2 latency comparison.
+func BenchmarkLatencyP99(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Latency(benchParams())
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.P99*1e3, r.System+"-P99ms")
+			}
+		}
+	}
+}
+
+// BenchmarkDimsSensitivity regenerates the §7.3 dimensionality study.
+func BenchmarkDimsSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Dims(benchParams())
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Speedup, r.Op+"-2Dv3D")
+			}
+		}
+	}
+}

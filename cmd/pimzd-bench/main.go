@@ -1,0 +1,251 @@
+// Command pimzd-bench regenerates the paper's evaluation tables and
+// figures on the simulated PIM system.
+//
+// Usage:
+//
+//	pimzd-bench -experiment all
+//	pimzd-bench -experiment fig5a -warmup 1000000 -batch 100000
+//	pimzd-bench -experiment table3
+//
+// Experiments: fig5a fig5b fig5c fig6 fig7 fig8 fig9 table2 table3
+// latency dims datasets all; extensions: energy strawman pscale future
+// bounds. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pimzdtree/internal/bench"
+	"pimzdtree/internal/geom"
+	"pimzdtree/internal/workload"
+)
+
+// loadPoints reads a point file, auto-detecting the binary format by its
+// magic and falling back to CSV.
+func loadPoints(path string) ([]geom.Point, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	var magic [5]byte
+	if _, err := fd.Read(magic[:]); err == nil && string(magic[:]) == "PTS1\n" {
+		if _, err := fd.Seek(0, 0); err != nil {
+			return nil, err
+		}
+		return workload.ReadPoints(fd)
+	}
+	if _, err := fd.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return workload.ReadCSV(fd)
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (fig5a..fig9, table2, table3, latency, dims, energy, datasets, all)")
+		format     = flag.String("format", "table", "output format: table or csv")
+		warmup     = flag.Int("warmup", bench.Defaults().WarmupN, "warmup points before measurement")
+		batch      = flag.Int("batch", bench.Defaults().BatchOps, "point operations per measured batch")
+		modules    = flag.Int("p", bench.Defaults().P, "number of PIM modules")
+		seed       = flag.Int64("seed", bench.Defaults().Seed, "workload seed")
+		dims       = flag.Int("dims", int(bench.Defaults().Dims), "point dimensionality (2-4)")
+		file       = flag.String("file", "", "run the fig5 operation suite on a point file (binary PTS1 or CSV) instead of a synthetic dataset")
+	)
+	flag.Parse()
+
+	p := bench.Params{
+		Seed:     *seed,
+		WarmupN:  *warmup,
+		BatchOps: *batch,
+		Dims:     uint8(*dims),
+		P:        *modules,
+	}
+
+	csvMode := *format == "csv"
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	check := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	run := func(id string) {
+		start := time.Now()
+		if !csvMode {
+			fmt.Printf("== %s ==\n", id)
+		}
+		switch id {
+		case "fig5a", "fig5b", "fig5c":
+			ds := map[string]workload.Dataset{
+				"fig5a": workload.DatasetUniform,
+				"fig5b": workload.DatasetCosmos,
+				"fig5c": workload.DatasetOSM,
+			}[id]
+			rows := bench.Fig5(ds, p)
+			if csvMode {
+				check(bench.Fig5CSV(os.Stdout, rows))
+			} else {
+				bench.RenderFig5(os.Stdout, ds, rows)
+			}
+		case "fig6":
+			rows := bench.Fig6(p)
+			if csvMode {
+				check(bench.Fig6CSV(os.Stdout, rows))
+			} else {
+				bench.RenderFig6(os.Stdout, rows)
+			}
+		case "fig7":
+			rows := bench.Fig7(p)
+			if csvMode {
+				check(bench.Fig7CSV(os.Stdout, rows))
+			} else {
+				bench.RenderFig7(os.Stdout, rows)
+			}
+		case "fig8":
+			rows := bench.Fig8(p)
+			if csvMode {
+				check(bench.Fig8CSV(os.Stdout, rows))
+			} else {
+				bench.RenderFig8(os.Stdout, rows)
+			}
+		case "fig9":
+			rows := bench.Fig9(p)
+			if csvMode {
+				check(bench.Fig9CSV(os.Stdout, rows))
+			} else {
+				bench.RenderFig9(os.Stdout, rows)
+			}
+		case "table2":
+			rows := bench.Table2(p)
+			if csvMode {
+				check(bench.Table2CSV(os.Stdout, rows))
+			} else {
+				bench.RenderTable2(os.Stdout, rows)
+			}
+		case "table3":
+			rows := bench.Table3(p)
+			if csvMode {
+				check(bench.Table3CSV(os.Stdout, rows))
+			} else {
+				bench.RenderTable3(os.Stdout, rows)
+			}
+		case "latency":
+			rows := bench.Latency(p)
+			if csvMode {
+				check(bench.LatencyCSV(os.Stdout, rows))
+			} else {
+				bench.RenderLatency(os.Stdout, rows)
+			}
+		case "dims":
+			rows := bench.Dims(p)
+			if csvMode {
+				check(bench.DimsCSV(os.Stdout, rows))
+			} else {
+				bench.RenderDims(os.Stdout, rows)
+			}
+		case "energy":
+			rows := bench.Energy(p)
+			if csvMode {
+				check(bench.EnergyCSV(os.Stdout, rows))
+			} else {
+				bench.RenderEnergy(os.Stdout, rows)
+			}
+		case "pscale":
+			rows := bench.PScale(p)
+			if csvMode {
+				check(bench.PScaleCSV(os.Stdout, rows))
+			} else {
+				bench.RenderPScale(os.Stdout, rows)
+			}
+		case "recon":
+			rows := bench.Recon(p)
+			if csvMode {
+				check(bench.ReconCSV(os.Stdout, rows))
+			} else {
+				bench.RenderRecon(os.Stdout, rows)
+			}
+		case "build":
+			rows := bench.Build(p)
+			if csvMode {
+				check(bench.BuildCSV(os.Stdout, rows))
+			} else {
+				bench.RenderBuild(os.Stdout, rows)
+			}
+		case "bounds":
+			rows := bench.Bounds(p)
+			if csvMode {
+				check(bench.BoundsCSV(os.Stdout, rows))
+			} else {
+				bench.RenderBounds(os.Stdout, rows)
+			}
+		case "future":
+			rows := bench.Future(p)
+			if csvMode {
+				check(bench.FutureCSV(os.Stdout, rows))
+			} else {
+				bench.RenderFuture(os.Stdout, rows)
+			}
+		case "strawman":
+			rows := bench.Strawman(p)
+			if csvMode {
+				check(bench.StrawmanCSV(os.Stdout, rows))
+			} else {
+				bench.RenderStrawman(os.Stdout, rows)
+			}
+		case "datasets":
+			bench.DatasetInfo(os.Stdout, p)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		if !csvMode {
+			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		_ = start
+	}
+
+	if *file != "" {
+		pts, err := loadPoints(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading %s: %v\n", *file, err)
+			os.Exit(1)
+		}
+		p.Dims = pts[0].Dims
+		p.WarmupN = len(pts)
+		rows := bench.Fig5Custom(pts, p)
+		if *format == "csv" {
+			if err := bench.Fig5CSV(os.Stdout, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("custom dataset %s: %d points, dims=%d, gini=%.3f\n",
+				*file, len(pts), pts[0].Dims, workload.Gini(pts, 2048))
+			bench.RenderFig5Custom(os.Stdout, rows)
+		}
+		return
+	}
+
+	if *experiment == "all" {
+		for _, id := range []string{
+			"datasets", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8",
+			"fig9", "table2", "table3", "latency", "dims", "energy",
+			"strawman", "pscale", "future", "bounds", "build", "recon",
+		} {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*experiment, ",") {
+		run(strings.TrimSpace(id))
+	}
+}

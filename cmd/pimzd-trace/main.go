@@ -1,0 +1,115 @@
+// Command pimzd-trace executes one batched operation on a PIM-zd-tree with
+// round tracing enabled and dumps the per-round execution profile: active
+// modules, slowest-module cycles, channel bytes, modeled time, and compute
+// utilization. Useful for seeing the BSP structure of each operation (one
+// L1 round for throughput-optimized searches, per-meta-level L2 rounds for
+// the skew-resistant configuration, the link/cache rounds of inserts).
+//
+// Usage:
+//
+//	pimzd-trace -op knn -n 200000 -batch 5000 -tuning skew
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/costmodel"
+	"pimzdtree/internal/workload"
+)
+
+func main() {
+	var (
+		op      = flag.String("op", "search", "operation: search, insert, delete, knn, boxcount, boxfetch")
+		dataset = flag.String("dataset", "uniform", "workload: uniform, cosmos, osm")
+		n       = flag.Int("n", 200_000, "warmup points")
+		batch   = flag.Int("batch", 10_000, "batch size")
+		modules = flag.Int("p", 2048, "PIM modules")
+		tuning  = flag.String("tuning", "throughput", "tuning: throughput or skew")
+		k       = flag.Int("k", 10, "k for knn")
+		seed    = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	var ds workload.Dataset
+	switch *dataset {
+	case "uniform":
+		ds = workload.DatasetUniform
+	case "cosmos":
+		ds = workload.DatasetCosmos
+	case "osm":
+		ds = workload.DatasetOSM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	data := ds.Generate(*seed, *n, 3)
+
+	machine := costmodel.UPMEMServer()
+	machine.PIMModules = *modules
+	cfg := core.Config{Dims: 3, Machine: machine}
+	if *tuning == "skew" {
+		cfg.Tuning = core.SkewResistant
+	}
+	tree := core.New(cfg, data)
+
+	tree.System().ResetMetrics()
+	tree.System().EnableTrace(0)
+
+	var elements int
+	switch *op {
+	case "search":
+		qs := workload.QueryPoints(*seed+1, data, *batch)
+		tree.Search(qs)
+		elements = len(qs)
+	case "insert":
+		pts := workload.QueryPoints(*seed+2, data, *batch)
+		tree.Insert(pts)
+		elements = len(pts)
+	case "delete":
+		pts := data[:min(*batch, len(data))]
+		tree.Delete(pts)
+		elements = len(pts)
+	case "knn":
+		qs := workload.QueryPoints(*seed+3, data, *batch)
+		res := tree.KNN(qs, *k)
+		for _, ns := range res {
+			elements += len(ns)
+		}
+	case "boxcount":
+		boxes := workload.QueryBoxes(*seed+4, data, *batch, 10)
+		tree.BoxCount(boxes)
+		elements = len(boxes)
+	case "boxfetch":
+		boxes := workload.QueryBoxes(*seed+5, data, *batch, 10)
+		res := tree.BoxFetch(boxes)
+		for _, pts := range res {
+			elements += len(pts)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown op %q\n", *op)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s over %s (n=%d, batch=%d, P=%d, %v)\n\n",
+		*op, *dataset, *n, *batch, *modules, cfg.Tuning)
+	tree.System().WriteTrace(os.Stdout)
+
+	m := tree.System().Metrics()
+	fmt.Printf("\ntotals: %d rounds, %d B to PIM, %d B from PIM, %d elements\n",
+		m.Rounds, m.BytesToPIM, m.BytesFromPIM, elements)
+	fmt.Printf("modeled time: CPU %.1fus + PIM %.1fus + comm %.1fus = %.1fus\n",
+		m.CPUSeconds*1e6, m.PIMSeconds*1e6, m.CommSeconds*1e6, m.TotalSeconds()*1e6)
+	if m.TotalSeconds() > 0 {
+		fmt.Printf("throughput: %.2f M elements/s\n", float64(elements)/m.TotalSeconds()/1e6)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a PIM-zd-tree, run the four query types, and read the
+// PIM-Model cost counters.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimzdtree"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// 100k random 3D points on the Morton grid (21 bits per coordinate).
+	points := make([]pimzdtree.Point, 100_000)
+	for i := range points {
+		points[i] = pimzdtree.P3(
+			rng.Uint32()&(1<<21-1),
+			rng.Uint32()&(1<<21-1),
+			rng.Uint32()&(1<<21-1),
+		)
+	}
+
+	// Build the index with the default throughput-optimized tuning on the
+	// simulated 2048-module UPMEM machine.
+	idx := pimzdtree.New(pimzdtree.Options{Dims: 3}, points...)
+	fmt.Printf("built index over %d points\n", idx.Size())
+
+	// Batch insert.
+	extra := make([]pimzdtree.Point, 10_000)
+	for i := range extra {
+		extra[i] = pimzdtree.P3(rng.Uint32()&(1<<21-1), rng.Uint32()&(1<<21-1), rng.Uint32()&(1<<21-1))
+	}
+	idx.Insert(extra)
+	fmt.Printf("after insert: %d points\n", idx.Size())
+
+	// Exact k nearest neighbors for a batch of queries.
+	queries := points[:8]
+	neighbors := idx.KNN(queries, 3)
+	for i, ns := range neighbors[:2] {
+		fmt.Printf("query %d: 3 nearest at squared-l2 distances %d, %d, %d\n",
+			i, ns[0].Dist, ns[1].Dist, ns[2].Dist)
+	}
+
+	// Orthogonal range queries.
+	box := pimzdtree.NewBox(
+		pimzdtree.P3(0, 0, 0),
+		pimzdtree.P3(1<<20, 1<<20, 1<<20), // one octant of the space
+	)
+	counts := idx.BoxCount([]pimzdtree.Box{box})
+	inBox := idx.BoxFetch([]pimzdtree.Box{box})
+	fmt.Printf("octant holds %d points (fetched %d)\n", counts[0], len(inBox[0]))
+
+	// Delete and verify.
+	idx.Delete(points[:5])
+	fmt.Printf("after delete: %d points, contains(deleted[0]) = %v\n",
+		idx.Size(), idx.Contains(points[0]))
+
+	// PIM-Model cost of everything above.
+	m := idx.Metrics()
+	fmt.Printf("\nPIM-Model cost: %d BSP rounds, %.1f MB over the memory channels, %.4f s modeled\n",
+		m.Rounds, float64(m.ChannelBytes())/(1<<20), m.TotalSeconds())
+}

@@ -1,0 +1,70 @@
+// Skewstress: the paper's Fig. 9 scenario interactively — adversarially
+// skewed query batches against the two Table 2 tunings. All queries in
+// the skewed batch target one tiny region. Push-pull search reacts by
+// pulling the hot meta-nodes to the CPU, so neither tuning collapses; the
+// tunings differ in what that costs: the throughput-optimized index pulls
+// whole n/P-point chunks (expensive at scale, cheap here), while the
+// skew-resistant index pulls B=16-factor chunks with bounded communication
+// regardless of scale.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimzdtree"
+)
+
+const gridMax = 1<<21 - 1
+
+func uniformPts(rng *rand.Rand, n int) []pimzdtree.Point {
+	pts := make([]pimzdtree.Point, n)
+	for i := range pts {
+		pts[i] = pimzdtree.P3(rng.Uint32()&gridMax, rng.Uint32()&gridMax, rng.Uint32()&gridMax)
+	}
+	return pts
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(31))
+	data := uniformPts(rng, 200_000)
+
+	fmt.Println("building both tunings over 200k uniform points...")
+	tunings := map[string]*pimzdtree.Index{
+		"throughput-optimized": pimzdtree.New(pimzdtree.Options{Dims: 3, Tuning: pimzdtree.ThroughputOptimized}, data...),
+		"skew-resistant":       pimzdtree.New(pimzdtree.Options{Dims: 3, Tuning: pimzdtree.SkewResistant}, data...),
+	}
+
+	// Two batches: balanced (uniform queries) and adversarial (every
+	// query within a 64-unit cube around one stored point).
+	balanced := uniformPts(rng, 20_000)
+	hot := data[123]
+	adversarial := make([]pimzdtree.Point, 20_000)
+	for i := range adversarial {
+		adversarial[i] = pimzdtree.P3(
+			hot.Coords[0]+rng.Uint32()%64,
+			hot.Coords[1]+rng.Uint32()%64,
+			hot.Coords[2]+rng.Uint32()%64)
+	}
+
+	for _, name := range []string{"throughput-optimized", "skew-resistant"} {
+		idx := tunings[name]
+		fmt.Printf("\n== %s ==\n", name)
+		for _, batch := range []struct {
+			label string
+			qs    []pimzdtree.Point
+		}{{"balanced", balanced}, {"adversarial", adversarial}} {
+			before := idx.ModeledSeconds()
+			idx.KNN(batch.qs, 1)
+			secs := idx.ModeledSeconds() - before
+			fmt.Printf("  %-12s 1-NN batch of %d: %.3f ms modeled (%.2f M queries/s)\n",
+				batch.label, len(batch.qs), secs*1e3, float64(len(batch.qs))/secs/1e6)
+		}
+	}
+
+	fmt.Println("\nBoth tunings survive the adversarial batch because push-pull search")
+	fmt.Println("pulls the hot meta-nodes to the CPU. The skew-resistant tuning pays a")
+	fmt.Println("small constant overhead on balanced batches in exchange for pull costs")
+	fmt.Println("that stay bounded as n grows (paper Fig. 9 / Table 2); the")
+	fmt.Println("throughput-optimized tuning's pulled chunks grow with n/P.")
+}

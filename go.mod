@@ -1,0 +1,3 @@
+module pimzdtree
+
+go 1.23

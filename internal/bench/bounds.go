@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/stats"
+	"pimzdtree/internal/workload"
+)
+
+// BoundsRow verifies one configuration against the paper's §5 cost bounds.
+type BoundsRow struct {
+	ThetaL0, ThetaL1, B int64
+
+	SearchRounds      float64 // measured rounds per search batch
+	SearchRoundsBound float64 // O(log_B ThetaL0) worst case (Thm 5.3)
+	SearchMsgsPerOp   float64 // measured channel messages per query
+	SearchMsgsBound   float64 // O(log_B ThetaL1) + O(1) (Thm 5.3)
+	KNNBytesPerOp     float64 // measured channel bytes per 10-NN query
+	KNNBytesBound     float64 // O(k + log_B ThetaL1) messages (Thm 5.5)
+
+	WithinBounds bool
+}
+
+// boundsMsgBytes approximates one PIM-Model "word" message for bound
+// comparison (query/result messages are 8 bytes here).
+const boundsMsgBytes = 8
+
+// Bounds sweeps custom configurations and checks the measured PIM-Model
+// costs of SEARCH (Theorem 5.3) and kNN (Theorem 5.5) against their
+// asymptotic bounds with a fixed constant factor. This is the empirical
+// counterpart of the paper's theory section: the bounds must hold at every
+// point of the tunable design spectrum (§3.1), not just at the two Table 2
+// endpoints.
+func Bounds(p Params) []BoundsRow {
+	p.fill()
+	data := workload.Uniform(p.Seed, p.WarmupN, p.Dims)
+	qs := workload.QueryPoints(p.Seed+51, data, p.BatchOps)
+	knnQs := workload.QueryPoints(p.Seed+52, data, p.BatchOps/8)
+	const k = 10
+	// Bound constants: asymptotic statements hold up to a fixed c. The
+	// kNN constant is larger than the search constant because Alg. 3 runs
+	// two staged descents and a ball of k points overlaps a small
+	// multiple of k meta-nodes (measured ~2.6k chunk crossings per query
+	// on the most adversarial config) — still O(k), as Thm 5.5 states.
+	const c = 6.0
+	const cKNN = 12.0
+
+	configs := []struct{ theta0, theta1, b int64 }{
+		{int64(p.WarmupN) / int64(p.P), 1, int64(p.WarmupN) / int64(p.P)}, // throughput endpoint
+		{4 * int64(p.P), 3, 16},        // skew-resistant endpoint
+		{2000, 64, 8},                  // mid-spectrum with a real L2
+		{512, 16, 4},                   // deep chunking
+		{int64(p.WarmupN) / 4, 32, 64}, // shallow L0, wide chunks
+	}
+	var rows []BoundsRow
+	for _, cfg := range configs {
+		machine := scaledPIMMachine(p, false)
+		tr := core.New(core.Config{
+			Dims: p.Dims, Machine: machine, Tuning: core.Custom,
+			ThetaL0: cfg.theta0, ThetaL1: cfg.theta1, B: cfg.b,
+		}, data)
+		theta0, theta1, b := tr.Thresholds()
+		logB := func(x int64) float64 {
+			if x < int64(b) {
+				return 1
+			}
+			return math.Log(float64(x)) / math.Log(float64(b))
+		}
+
+		tr.System().ResetMetrics()
+		tr.Search(qs)
+		m := tr.System().Metrics()
+		row := BoundsRow{
+			ThetaL0: theta0, ThetaL1: theta1, B: b,
+			SearchRounds:      float64(m.Rounds),
+			SearchRoundsBound: c * (1 + logB(theta0)),
+			SearchMsgsPerOp:   float64(m.ChannelBytes()) / boundsMsgBytes / float64(len(qs)),
+			SearchMsgsBound:   c * (1 + logB(theta1)),
+		}
+
+		tr.System().ResetMetrics()
+		tr.KNN(knnQs, k)
+		mk := tr.System().Metrics()
+		row.KNNBytesPerOp = float64(mk.ChannelBytes()) / float64(len(knnQs))
+		// Thm 5.5: O(k + log_B ThetaL1) communication per query; each unit
+		// moves up to a point payload (16 B).
+		row.KNNBytesBound = cKNN * (float64(k) + 1 + logB(theta1)) * 16
+
+		row.WithinBounds = row.SearchRounds <= row.SearchRoundsBound &&
+			row.SearchMsgsPerOp <= row.SearchMsgsBound &&
+			row.KNNBytesPerOp <= row.KNNBytesBound
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderBounds prints the verification table.
+func RenderBounds(w io.Writer, rows []BoundsRow) {
+	fmt.Fprintln(w, "Theory bounds check (Thm 5.3 / 5.5, constant c=6): measured vs bound")
+	tb := stats.NewTable("thetaL0", "thetaL1", "B",
+		"rounds", "<= bound", "msgs/op", "<= bound", "kNN B/op", "<= bound", "ok")
+	for _, r := range rows {
+		tb.AddRow(r.ThetaL0, r.ThetaL1, r.B,
+			r.SearchRounds, r.SearchRoundsBound,
+			r.SearchMsgsPerOp, r.SearchMsgsBound,
+			r.KNNBytesPerOp, r.KNNBytesBound,
+			r.WithinBounds)
+	}
+	fmt.Fprint(w, tb)
+}
+
+// BoundsCSV emits the verification rows.
+func BoundsCSV(w io.Writer, rows []BoundsRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			fmt.Sprint(r.ThetaL0), fmt.Sprint(r.ThetaL1), fmt.Sprint(r.B),
+			f(r.SearchRounds), f(r.SearchRoundsBound),
+			f(r.SearchMsgsPerOp), f(r.SearchMsgsBound),
+			f(r.KNNBytesPerOp), f(r.KNNBytesBound),
+			fmt.Sprint(r.WithinBounds),
+		}
+	}
+	return writeCSV(w, []string{"theta_l0", "theta_l1", "b",
+		"search_rounds", "search_rounds_bound",
+		"search_msgs_per_op", "search_msgs_bound",
+		"knn_bytes_per_op", "knn_bytes_bound", "within_bounds"}, out)
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV emitters, one per experiment, so results can be piped straight into
+// plotting tools (`pimzd-bench -format csv`).
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%g", v) }
+
+// Fig5CSV emits Fig. 5 rows.
+func Fig5CSV(w io.Writer, rows []Fig5Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Op, r.System, f(r.Throughput), f(r.Traffic)}
+	}
+	return writeCSV(w, []string{"op", "system", "throughput_elems_per_s", "traffic_bytes_per_elem"}, out)
+}
+
+// Fig6CSV emits the runtime breakdown.
+func Fig6CSV(w io.Writer, rows []Fig6Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Op, f(r.CPUFrac), f(r.PIMFrac), f(r.CommFrac), f(r.TotalSeconds)}
+	}
+	return writeCSV(w, []string{"op", "cpu_frac", "pim_frac", "comm_frac", "total_seconds"}, out)
+}
+
+// Fig7CSV emits the batch-size sweep.
+func Fig7CSV(w io.Writer, rows []Fig7Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{fmt.Sprint(r.BatchSize), f(r.Throughput), f(r.Traffic)}
+	}
+	return writeCSV(w, []string{"batch_size", "throughput_ops_per_s", "traffic_bytes_per_op"}, out)
+}
+
+// Fig8CSV emits the dataset-size sweep.
+func Fig8CSV(w io.Writer, rows []Fig8Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{fmt.Sprint(r.BaseSize), r.System, f(r.Throughput), f(r.Traffic)}
+	}
+	return writeCSV(w, []string{"base_size", "system", "throughput_elems_per_s", "traffic_bytes_per_elem"}, out)
+}
+
+// Fig9CSV emits the skew sweep.
+func Fig9CSV(w io.Writer, rows []Fig9Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Tuning, f(r.VardenFrac), f(r.Throughput)}
+	}
+	return writeCSV(w, []string{"tuning", "varden_fraction", "throughput_elems_per_s"}, out)
+}
+
+// Table2CSV emits the configuration costs.
+func Table2CSV(w io.Writer, rows []Table2Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Tuning, fmt.Sprint(r.ThetaL0), fmt.Sprint(r.ThetaL1),
+			fmt.Sprint(r.B), f(r.SearchRounds), f(r.SearchBytesOp), fmt.Sprint(r.SpaceBytes)}
+	}
+	return writeCSV(w, []string{"tuning", "theta_l0", "theta_l1", "b",
+		"search_rounds_per_batch", "search_bytes_per_op", "space_bytes"}, out)
+}
+
+// Table3CSV emits the ablation slowdowns (empty cell = not applicable).
+func Table3CSV(w io.Writer, rows []Table3Row) error {
+	ops := []string{"Insert", "BoxCount", "BoxFetch", "kNN"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		row := []string{r.Technique}
+		for _, op := range ops {
+			if v, ok := r.Slowdowns[op]; ok {
+				row = append(row, f(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		out[i] = row
+	}
+	return writeCSV(w, []string{"technique", "insert_slowdown", "boxcount_slowdown",
+		"boxfetch_slowdown", "knn_slowdown"}, out)
+}
+
+// LatencyCSV emits the latency percentiles.
+func LatencyCSV(w io.Writer, rows []LatencyRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.System, f(r.P50), f(r.P99)}
+	}
+	return writeCSV(w, []string{"system", "p50_seconds", "p99_seconds"}, out)
+}
+
+// DimsCSV emits the dimensionality sensitivity.
+func DimsCSV(w io.Writer, rows []DimsRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Op, f(r.Speedup)}
+	}
+	return writeCSV(w, []string{"op_group", "speedup_2d_over_3d"}, out)
+}
+
+// EnergyCSV emits the energy comparison.
+func EnergyCSV(w io.Writer, rows []EnergyRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Op, r.System, f(r.NanoJPerEl)}
+	}
+	return writeCSV(w, []string{"op", "system", "nanojoules_per_elem"}, out)
+}

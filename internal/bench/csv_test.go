@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func lines(s string) []string {
+	return strings.Split(strings.TrimSpace(s), "\n")
+}
+
+func TestFig5CSV(t *testing.T) {
+	rows := []Fig5Row{
+		{System: "PIM-zd-tree", Op: "Insert", Throughput: 1e6, Traffic: 42},
+		{System: "zd-tree", Op: "Insert", Throughput: 5e5, Traffic: 100},
+	}
+	var buf bytes.Buffer
+	if err := Fig5CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	ls := lines(buf.String())
+	if len(ls) != 3 {
+		t.Fatalf("lines = %d", len(ls))
+	}
+	if !strings.HasPrefix(ls[0], "op,system,") {
+		t.Fatalf("header = %q", ls[0])
+	}
+	if !strings.Contains(ls[1], "PIM-zd-tree") || !strings.Contains(ls[1], "1e+06") {
+		t.Fatalf("row = %q", ls[1])
+	}
+}
+
+func TestAllCSVEmitters(t *testing.T) {
+	var buf bytes.Buffer
+	check := func(name string, err error, wantCols int) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ls := lines(buf.String())
+		if len(ls) < 2 {
+			t.Fatalf("%s: only %d lines", name, len(ls))
+		}
+		if got := len(strings.Split(ls[0], ",")); got != wantCols {
+			t.Fatalf("%s: %d header columns, want %d", name, got, wantCols)
+		}
+		buf.Reset()
+	}
+	check("fig6", Fig6CSV(&buf, []Fig6Row{{Op: "Insert", CPUFrac: 0.5, PIMFrac: 0.3, CommFrac: 0.2, TotalSeconds: 1}}), 5)
+	check("fig7", Fig7CSV(&buf, []Fig7Row{{BatchSize: 100, Throughput: 1, Traffic: 2}}), 3)
+	check("fig8", Fig8CSV(&buf, []Fig8Row{{System: "x", BaseSize: 10, Throughput: 1, Traffic: 2}}), 4)
+	check("fig9", Fig9CSV(&buf, []Fig9Row{{Tuning: "t", VardenFrac: 0.01, Throughput: 5}}), 3)
+	check("table2", Table2CSV(&buf, []Table2Row{{Tuning: "t", ThetaL0: 1, ThetaL1: 2, B: 3, SearchRounds: 4, SearchBytesOp: 5, SpaceBytes: 6}}), 7)
+	check("table3", Table3CSV(&buf, []Table3Row{{Technique: "x", Slowdowns: map[string]float64{"Insert": 1.5}}}), 5)
+	check("latency", LatencyCSV(&buf, []LatencyRow{{System: "s", P50: 1, P99: 2}}), 3)
+	check("dims", DimsCSV(&buf, []DimsRow{{Op: "kNN", Speedup: 2}}), 2)
+	check("energy", EnergyCSV(&buf, []EnergyRow{{System: "s", Op: "o", NanoJPerEl: 3}}), 3)
+}
+
+func TestTable3CSVNotApplicableCellsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3CSV(&buf, []Table3Row{{Technique: "Lazy Counter", Slowdowns: map[string]float64{"Insert": 1.2}}}); err != nil {
+		t.Fatal(err)
+	}
+	ls := lines(buf.String())
+	// technique,insert,boxcount,boxfetch,knn -> three trailing empties.
+	if !strings.HasSuffix(ls[1], ",,,") {
+		t.Fatalf("row = %q", ls[1])
+	}
+}
+
+func TestEnergySmoke(t *testing.T) {
+	rows := Energy(tiny())
+	if len(rows) != 3*len(OpNames) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		if r.NanoJPerEl <= 0 {
+			t.Fatalf("non-positive energy: %+v", r)
+		}
+		byKey[r.System+"/"+r.Op] = r.NanoJPerEl
+	}
+	// The PIM system must be more energy-efficient on the traffic-bound
+	// BoxCount ops (the architectural motivation).
+	if byKey["PIM-zd-tree/BC-10"] >= byKey["Pkd-tree/BC-10"] {
+		t.Fatalf("PIM BC-10 energy %f >= baseline %f",
+			byKey["PIM-zd-tree/BC-10"], byKey["Pkd-tree/BC-10"])
+	}
+	var buf bytes.Buffer
+	RenderEnergy(&buf, rows)
+	if !strings.Contains(buf.String(), "energy reduction") {
+		t.Fatal("render missing aggregate")
+	}
+}

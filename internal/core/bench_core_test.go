@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimzdtree/internal/geom"
+)
+
+// Micro-benchmarks for the core index operations (wall-clock of the
+// simulator; the modeled-time benchmarks live in the repo-root
+// bench_test.go).
+
+func benchTree(b *testing.B, tuning Tuning, n int) (*Tree, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tr := New(testConfig(tuning), randPoints(rng, n, 3, 1<<20))
+	b.ResetTimer()
+	return tr, rng
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, 100_000, 3, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(testConfig(ThroughputOptimized), pts)
+	}
+}
+
+func BenchmarkSearchBatch(b *testing.B) {
+	tr, rng := benchTree(b, ThroughputOptimized, 100_000)
+	qs := randPoints(rng, 10_000, 3, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(qs)
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds()/1e6, "wallclock-Mq/s")
+}
+
+func BenchmarkInsertBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(testConfig(ThroughputOptimized), randPoints(rng, 100_000, 3, 1<<20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each iteration inserts a fresh batch; the tree grows, which is
+		// the realistic steady-state workload.
+		tr.Insert(randPoints(rng, 10_000, 3, 1<<20))
+	}
+}
+
+func BenchmarkKNN10(b *testing.B) {
+	tr, rng := benchTree(b, ThroughputOptimized, 100_000)
+	qs := randPoints(rng, 1_000, 3, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(qs, 10)
+	}
+}
+
+func BenchmarkBoxCount(b *testing.B) {
+	tr, rng := benchTree(b, SkewResistant, 100_000)
+	boxes := make([]geom.Box, 1000)
+	for i := range boxes {
+		lo := geom.P3(rng.Uint32()%(1<<20), rng.Uint32()%(1<<20), rng.Uint32()%(1<<20))
+		boxes[i] = geom.NewBox(lo, geom.P3(lo.Coords[0]+1<<14, lo.Coords[1]+1<<14, lo.Coords[2]+1<<14))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.BoxCount(boxes)
+	}
+}
+
+func BenchmarkRelayout(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New(testConfig(SkewResistant), randPoints(rng, 200_000, 3, 1<<20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.relayout()
+	}
+}

@@ -1,0 +1,485 @@
+// Package core implements PIM-zd-tree, the paper's contribution: a
+// batch-dynamic zd-tree distributed across the PIM modules of a
+// processing-in-memory system (simulated by internal/pim).
+//
+// The index divides the logical zd-tree into three layers by subtree size
+// (§3.1): L0 nodes (subtree size >= ThetaL0) are globally shared — kept in
+// the CPU cache, or replicated on every module when they outgrow it; L1
+// nodes (>= ThetaL1) have a master on a hashed module plus structural
+// caching that lets any search finish its whole L1 segment locally; L2
+// nodes are exclusive to their master module. L1 and L2 are grouped into
+// meta-nodes (chunks) by the subtree-size rule of §3.2, with the practical
+// sparse/dense chunk layouts of §6. Batched operations use push-pull
+// search (§3.3) for load balance and lazy counters (§3.4) to keep
+// replicated subtree sizes approximately consistent at low cost.
+//
+// The logical tree is maintained on the host (the simulator orchestrates
+// everything, exactly as the UPMEM host CPU does); physical placement,
+// communication, rounds and per-module work are accounted through
+// internal/pim so that every reported metric is a PIM-Model metric.
+package core
+
+import (
+	"fmt"
+
+	"pimzdtree/internal/costmodel"
+	"pimzdtree/internal/geom"
+	"pimzdtree/internal/morton"
+	"pimzdtree/internal/parallel"
+	"pimzdtree/internal/pim"
+)
+
+// Layer identifies which of the three layers a node belongs to.
+type Layer uint8
+
+const (
+	// L0 nodes are globally shared (§3.1, "Globally-Shared Nodes").
+	L0 Layer = iota
+	// L1 nodes are partially shared: master plus path caching.
+	L1
+	// L2 nodes are exclusive: master copy only.
+	L2
+)
+
+// String names the layer as in the paper.
+func (l Layer) String() string {
+	switch l {
+	case L0:
+		return "L0"
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	default:
+		return fmt.Sprintf("Layer(%d)", uint8(l))
+	}
+}
+
+// Modeled byte sizes for traffic and space accounting.
+const (
+	nodeBytes        = 32 // chunk-resident node: split metadata, child refs, counter
+	leafHeaderBytes  = 16
+	pointBytes       = 16 // key + packed coordinates
+	chunkHeaderBytes = 64
+	queryMsgBytes    = 8 // query key pushed to a module (ids are implicit
+	// in batch order, as with the Direct API's raw word writes)
+	resultMsgBytes  = 8  // per-query result (node address) returned to the CPU
+	linkMsgBytes    = 16 // parent/child link fix sent to a module
+	counterMsgBytes = 8  // lazy-counter snapshot propagation per replica
+)
+
+// Tuning selects one of the two implemented configurations (Table 2), or
+// custom thresholds.
+type Tuning uint8
+
+const (
+	// ThroughputOptimized is the communication-lean configuration:
+	// ThetaL0 = n/P, ThetaL1 = 1, B = ThetaL0. Skew tolerance
+	// (P log P, 3); O(1) communication per search/update.
+	ThroughputOptimized Tuning = iota
+	// SkewResistant tolerates arbitrary adversarial skew with batches of
+	// Omega(P log^2 P): ThetaL0 = Theta(P), ThetaL1 = Theta(log_B P),
+	// B = 16.
+	SkewResistant
+	// Custom uses the thresholds given in Config verbatim.
+	Custom
+)
+
+// String names the tuning.
+func (t Tuning) String() string {
+	switch t {
+	case ThroughputOptimized:
+		return "throughput-optimized"
+	case SkewResistant:
+		return "skew-resistant"
+	case Custom:
+		return "custom"
+	default:
+		return fmt.Sprintf("Tuning(%d)", uint8(t))
+	}
+}
+
+// Config configures a PIM-zd-tree.
+type Config struct {
+	Dims    uint8
+	Machine costmodel.Machine // must be PIM-equipped
+	Tuning  Tuning
+
+	// Custom thresholds (used when Tuning == Custom; ignored otherwise).
+	ThetaL0 int64
+	ThetaL1 int64
+	B       int64
+
+	// LeafCap bounds points per leaf (0 = 16).
+	LeafCap int
+
+	// CacheBudget bounds the bytes of L0 kept CPU-resident before L0
+	// switches to replicated-on-modules mode (0 = half the machine LLC).
+	CacheBudget int64
+
+	// Ablation switches (Table 3). All default to the full design.
+	DisableLazyCounters bool // propagate counters eagerly on every update
+	NaiveZOrder         bool // bit-at-a-time Morton keys on the host
+	DisableL1Anchor     bool // compute l2 directly on PIM cores in kNN
+	DisableDirectAPI    bool // model the original SDK per-transfer overhead
+}
+
+func (c *Config) fill() {
+	if c.Dims < 2 || c.Dims > geom.MaxDims {
+		panic(fmt.Sprintf("core: unsupported dimensionality %d", c.Dims))
+	}
+	if c.Machine.PIMModules <= 0 {
+		panic("core: machine has no PIM modules")
+	}
+	if c.LeafCap == 0 {
+		c.LeafCap = 16
+	}
+	if c.CacheBudget == 0 {
+		c.CacheBudget = c.Machine.LLCBytes / 2
+	}
+}
+
+// layerNew marks freshly created nodes whose layer has not been assigned
+// yet; the layout pass does not count their first assignment as a
+// promotion or demotion.
+const layerNew Layer = 0xFF
+
+// Node is one logical zd-tree node. Leaves have Left == nil.
+type Node struct {
+	Left, Right *Node
+	Key         uint64 // representative key
+	PrefixLen   uint8
+	Box         geom.Box
+
+	// Subtree-size counters (§3.4): Size is the exact count known to the
+	// master copy (masters lie on every update path, so they stay exact at
+	// zero extra traffic); SC is the lazily-synchronized global snapshot
+	// all replicas see; Delta is the drift accumulated since the last
+	// snapshot sync. Lemma 3.1: T/2 <= SC <= 2T.
+	Size  int64
+	SC    int64
+	Delta int64
+
+	Layer Layer
+	Chunk *Chunk // meta-node containing this node (nil for L0 nodes)
+
+	// Leaf payload (sorted by key).
+	Keys []uint64
+	Pts  []geom.Point
+
+	// dirty marks structural modification since the last relayout, so the
+	// layout pass only charges movement for chunks that actually changed.
+	dirty bool
+}
+
+// IsLeaf reports whether n is a leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Chunk is a meta-node (§3.2): a connected group of same-layer nodes
+// placed together on one PIM module.
+type Chunk struct {
+	ID     uint64
+	Module int
+	Layer  Layer
+	Root   *Node
+
+	// Structure statistics maintained by layout passes. Bytes is the full
+	// master footprint (structure plus leaf payloads); StructBytes is the
+	// routing structure alone — what a pull ships (§3.3 fetches "only the
+	// master storage", and the CPU reads payloads per visited leaf).
+	NodeCount   int
+	Bytes       int64
+	StructBytes int64
+	Dense       bool // practical chunking mode (§6): >= B/4 nodes
+	Depth       int  // meta-depth below the L0 border (0 = topmost)
+
+	Parent   *Chunk
+	Children []*Chunk
+
+	// migrated marks a chunk whose data genuinely changed module this
+	// layout pass (overload rehoming), so the diff charges a full move.
+	migrated bool
+}
+
+// Tree is a PIM-zd-tree.
+type Tree struct {
+	cfg  Config
+	sys  *pim.System
+	root *Node
+
+	thetaL0, thetaL1, chunkB int64
+	thetaBaseN               int64 // lazily re-based n for threshold stability
+	bootstrapped             bool  // initial layout done (placement may inherit)
+	rehomeThreshold          int64 // per-module footprint above which chunks rehome
+
+	l0OnModules bool  // L0 replicated on modules instead of the CPU cache
+	l0Count     int64 // number of L0 nodes
+	l0Bytes     int64
+
+	chunks map[uint64]*Chunk
+	nextID uint64
+
+	// Aggregate statistics.
+	counterSyncs   int64
+	promotions     int64
+	demotions      int64
+	pulls          int64
+	movedChunks    int64
+	editedChunks   int64
+	moveBytesTotal int64
+}
+
+// New builds a PIM-zd-tree over points (may be empty).
+func New(cfg Config, points []geom.Point) *Tree {
+	cfg.fill()
+	machine := cfg.Machine
+	t := &Tree{
+		cfg:    cfg,
+		sys:    pim.NewSystem(machine),
+		chunks: make(map[uint64]*Chunk),
+	}
+	t.sys.DirectAPI = !cfg.DisableDirectAPI
+	if len(points) > 0 {
+		kps := t.makeKeyed(points)
+		parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+		t.chargeHostSort(len(kps))
+		t.root = t.buildLogical(kps)
+	}
+	t.relayout()
+	return t
+}
+
+// System exposes the underlying PIM simulator (for metrics).
+func (t *Tree) System() *pim.System { return t.sys }
+
+// Size returns the number of stored points.
+func (t *Tree) Size() int {
+	if t.root == nil {
+		return 0
+	}
+	return int(t.root.Size)
+}
+
+// Dims returns the indexed dimensionality.
+func (t *Tree) Dims() uint8 { return t.cfg.Dims }
+
+// P returns the number of PIM modules.
+func (t *Tree) P() int { return t.sys.P() }
+
+// Thresholds returns the current layer thresholds and chunking factor.
+func (t *Tree) Thresholds() (thetaL0, thetaL1, b int64) {
+	return t.thetaL0, t.thetaL1, t.chunkB
+}
+
+// L0OnModules reports whether L0 is replicated across modules (true) or
+// held in the CPU cache (false).
+func (t *Tree) L0OnModules() bool { return t.l0OnModules }
+
+type keyed struct {
+	key uint64
+	pt  geom.Point
+}
+
+func (t *Tree) makeKeyed(points []geom.Point) []keyed {
+	kps := make([]keyed, len(points))
+	parallel.For(len(points), func(i int) {
+		if points[i].Dims != t.cfg.Dims {
+			panic(fmt.Sprintf("core: point dims %d != tree dims %d", points[i].Dims, t.cfg.Dims))
+		}
+		kps[i] = keyed{key: morton.EncodePoint(points[i]), pt: points[i]}
+	})
+	zCost := morton.CostFast(t.cfg.Dims)
+	if t.cfg.NaiveZOrder {
+		zCost = morton.CostNaive(t.cfg.Dims)
+	}
+	t.sys.CPUPhase(int64(len(points))*zCost, 0, 0)
+	return kps
+}
+
+func (t *Tree) keyBits() uint { return morton.KeyBits(int(t.cfg.Dims)) }
+
+// chargeHostSort prices the host-side radix sort and batch preprocessing,
+// identically to the baselines' sort pricing (~30 cycles per element).
+// Traffic follows the paper's Fig. 7 observation: while the batch and its
+// auxiliary structures fit in the L3 cache, only the first streaming pass
+// reaches DRAM; batches that overflow the cache pay DRAM traffic on every
+// pass.
+func (t *Tree) chargeHostSort(n int) {
+	t.sys.CPUPhase(int64(n)*30, t.hostBatchTraffic(n, 6), 0)
+}
+
+// hostBatchTraffic returns the DRAM bytes of `passes` streaming passes
+// over a batch's ~96-byte-per-op working set (payload, keys, traces,
+// grouping buffers), accounting for L3 residency.
+func (t *Tree) hostBatchTraffic(n int, passes int64) int64 {
+	bytes := int64(n) * 96
+	if bytes > t.cfg.CacheBudget {
+		return bytes * passes
+	}
+	return bytes
+}
+
+// buildLogical constructs the logical subtree over sorted keyed points.
+func (t *Tree) buildLogical(kps []keyed) *Node {
+	first, last := kps[0].key, kps[len(kps)-1].key
+	if len(kps) <= t.cfg.LeafCap || first == last {
+		return t.newLeaf(kps)
+	}
+	plen := morton.CommonPrefixLen(first, last, int(t.cfg.Dims))
+	bit := t.keyBits() - 1 - plen
+	split := splitAtBit(kps, bit)
+	n := &Node{
+		Key:       first,
+		PrefixLen: uint8(plen),
+		Size:      int64(len(kps)),
+		SC:        int64(len(kps)),
+		Box:       morton.PrefixBox(first, plen, t.cfg.Dims),
+		Layer:     layerNew,
+	}
+	if len(kps) > 4096 {
+		parallel.Do(
+			func() { n.Left = t.buildLogical(kps[:split]) },
+			func() { n.Right = t.buildLogical(kps[split:]) },
+		)
+	} else {
+		n.Left = t.buildLogical(kps[:split])
+		n.Right = t.buildLogical(kps[split:])
+	}
+	return n
+}
+
+func (t *Tree) newLeaf(kps []keyed) *Node {
+	n := &Node{
+		Key:   kps[0].key,
+		Size:  int64(len(kps)),
+		SC:    int64(len(kps)),
+		Layer: layerNew,
+		Keys:  make([]uint64, len(kps)),
+		Pts:   make([]geom.Point, len(kps)),
+	}
+	for i, kp := range kps {
+		n.Keys[i] = kp.key
+		n.Pts[i] = kp.pt
+	}
+	if len(kps) == 1 {
+		n.PrefixLen = uint8(t.keyBits())
+	} else {
+		n.PrefixLen = uint8(morton.CommonPrefixLen(kps[0].key, kps[len(kps)-1].key, int(t.cfg.Dims)))
+	}
+	n.Box = morton.PrefixBox(n.Key, uint(n.PrefixLen), t.cfg.Dims)
+	return n
+}
+
+// splitAtBit returns the index of the first element with the given key bit
+// set; the slice must be sorted.
+func splitAtBit(kps []keyed, bit uint) int {
+	lo, hi := 0, len(kps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if morton.BitAt(kps[mid].key, bit) == 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sharesPrefix reports whether key matches n's z-order prefix.
+func (t *Tree) sharesPrefix(key uint64, n *Node) bool {
+	if n.PrefixLen == 0 {
+		return true
+	}
+	return (key^n.Key)>>(t.keyBits()-uint(n.PrefixLen)) == 0
+}
+
+// splitBit returns the key bit an internal node routes on.
+func (t *Tree) splitBit(n *Node) uint {
+	return t.keyBits() - 1 - uint(n.PrefixLen)
+}
+
+// childFor returns the child of internal node n that key routes to.
+func (t *Tree) childFor(n *Node, key uint64) *Node {
+	if morton.BitAt(key, t.splitBit(n)) == 0 {
+		return n.Left
+	}
+	return n.Right
+}
+
+// leafBytes returns the modeled size of a leaf's payload.
+func leafBytesOf(n *Node) int64 {
+	return leafHeaderBytes + int64(len(n.Keys))*pointBytes
+}
+
+// nodeFootprint returns the modeled bytes of one node (leaf or internal).
+func nodeFootprint(n *Node) int64 {
+	if n.IsLeaf() {
+		return leafBytesOf(n)
+	}
+	return nodeBytes
+}
+
+// Points returns all points in key order (tests and examples).
+func (t *Tree) Points() []geom.Point {
+	out := make([]geom.Point, 0, t.Size())
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n.Pts...)
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(t.root)
+	return out
+}
+
+// Root returns the logical root (read-only use by tests).
+func (t *Tree) Root() *Node { return t.root }
+
+// Stats summarizes structural and activity counters.
+type Stats struct {
+	Points       int
+	L0Nodes      int64
+	L1Chunks     int
+	L2Chunks     int
+	L0OnModules  bool
+	CounterSyncs int64
+	Promotions   int64
+	Demotions    int64
+	Pulls        int64
+	MovedChunks  int64 // chunks shipped in full by layout passes
+	EditedChunks int64 // chunks updated in place (delta messages only)
+	MoveBytes    int64 // total layout movement bytes
+	StoredTotal  int64 // modeled bytes across modules
+	StoredMax    int64 // busiest module
+}
+
+// Stats returns a snapshot of the tree's structural statistics.
+func (t *Tree) Stats() Stats {
+	s := Stats{
+		Points:       t.Size(),
+		L0Nodes:      t.l0Count,
+		L0OnModules:  t.l0OnModules,
+		CounterSyncs: t.counterSyncs,
+		Promotions:   t.promotions,
+		Demotions:    t.demotions,
+		Pulls:        t.pulls,
+		MovedChunks:  t.movedChunks,
+		EditedChunks: t.editedChunks,
+		MoveBytes:    t.moveBytesTotal,
+	}
+	for _, c := range t.chunks {
+		if c.Layer == L1 {
+			s.L1Chunks++
+		} else {
+			s.L2Chunks++
+		}
+	}
+	s.StoredTotal, s.StoredMax = t.sys.StoredBytesTotal()
+	return s
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"pimzdtree/internal/geom"
+)
+
+// FuzzBatchOps interprets a byte stream as a sequence of batched
+// operations on a tiny 2D grid and cross-checks the index against a
+// brute-force multiset oracle after every step. Run with
+// `go test -fuzz FuzzBatchOps ./internal/core` to explore; the seed
+// corpus runs in ordinary `go test`.
+func FuzzBatchOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{255, 0, 255, 0, 1, 1, 1, 1, 2, 2, 2, 2})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7}) // duplicates
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := testConfig(SkewResistant)
+		cfg.Dims = 2
+		cfg.Machine.PIMModules = 16
+		tr := New(cfg, nil)
+		var oracle []geom.Point
+
+		// Consume the stream: first byte of each record picks the op,
+		// following bytes provide coordinates (2 per point, up to 4
+		// points per batch).
+		i := 0
+		next := func() (byte, bool) {
+			if i >= len(data) {
+				return 0, false
+			}
+			b := data[i]
+			i++
+			return b, true
+		}
+		readPts := func(n int) []geom.Point {
+			var pts []geom.Point
+			for j := 0; j < n; j++ {
+				x, ok1 := next()
+				y, ok2 := next()
+				if !ok1 || !ok2 {
+					break
+				}
+				pts = append(pts, geom.P2(uint32(x), uint32(y)))
+			}
+			return pts
+		}
+		steps := 0
+		for steps < 32 {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			steps++
+			switch op % 3 {
+			case 0: // insert up to 4 points
+				pts := readPts(4)
+				if len(pts) == 0 {
+					continue
+				}
+				tr.Insert(pts)
+				oracle = append(oracle, pts...)
+			case 1: // delete up to 2 points (may be absent)
+				pts := readPts(2)
+				if len(pts) == 0 {
+					continue
+				}
+				tr.Delete(pts)
+				for _, p := range pts {
+					for k, o := range oracle {
+						if o.Equal(p) {
+							oracle = append(oracle[:k], oracle[k+1:]...)
+							break
+						}
+					}
+				}
+			case 2: // query: contains + 1-NN + box count
+				pts := readPts(1)
+				if len(pts) == 0 {
+					continue
+				}
+				q := pts[0]
+				inOracle := false
+				for _, o := range oracle {
+					if o.Equal(q) {
+						inOracle = true
+						break
+					}
+				}
+				if got := tr.Contains(q); got != inOracle {
+					t.Fatalf("Contains(%v) = %v, oracle %v", q, got, inOracle)
+				}
+				if len(oracle) > 0 {
+					nn := tr.KNN([]geom.Point{q}, 1)
+					var best uint64 = 1 << 63
+					for _, o := range oracle {
+						if d := geom.DistL2Sq(o, q); d < best {
+							best = d
+						}
+					}
+					if len(nn[0]) != 1 || nn[0][0].Dist != best {
+						t.Fatalf("1-NN of %v: got %v, oracle best %d", q, nn[0], best)
+					}
+					box := geom.NewBox(geom.P2(0, 0), q)
+					var want int64
+					for _, o := range oracle {
+						if box.Contains(o) {
+							want++
+						}
+					}
+					if got := tr.BoxCount([]geom.Box{box}); got[0] != want {
+						t.Fatalf("BoxCount = %d, oracle %d", got[0], want)
+					}
+				}
+			}
+			if tr.Size() != len(oracle) {
+				t.Fatalf("size %d, oracle %d", tr.Size(), len(oracle))
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			if bad := tr.CheckCounterInvariant(); bad != nil {
+				t.Fatalf("Lemma 3.1 violated: SC=%d Size=%d", bad.SC, bad.Size)
+			}
+		}
+	})
+}

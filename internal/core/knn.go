@@ -1,0 +1,487 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"pimzdtree/internal/costmodel"
+	"pimzdtree/internal/geom"
+)
+
+// Neighbor is one kNN result; Dist is the squared l2 distance.
+type Neighbor struct {
+	Point geom.Point
+	Dist  uint64
+}
+
+// knnMsgBytes is the modeled per-query message for kNN waves (key, id,
+// current bound).
+const knnMsgBytes = 24
+
+// pimDistCost models the PIM-core cycles of one point-distance evaluation:
+// l1 needs only adds and compares, while l2 pays the 32-cycle multiplies
+// that motivate the paper's coarse/fine split (§6).
+func pimDistCost(metric geom.Metric, dims uint8) int64 {
+	if metric == geom.L2 {
+		return int64(dims) * (costmodel.WorkMulPIM + 2)
+	}
+	return int64(dims) * 3
+}
+
+// KNN returns the k nearest neighbors (exact, l2 metric) of each query,
+// each sorted by increasing distance.
+func (t *Tree) KNN(queries []geom.Point, k int) [][]Neighbor {
+	return t.KNNWithMetric(queries, k, geom.L2)
+}
+
+// KNNWithMetric answers exact kNN under the given fine metric (distances
+// are squared for L2, per geom.Metric.Dist). It implements Alg. 3: a
+// traced search locates per query the lowest node with SC >= 2k (so
+// Lemma 3.1 guarantees at least k real points below it); a push-pull
+// descent collects k candidates under the PIM-cheap coarse metric; the CPU
+// derives the candidate sphere; a second push-pull descent from the lowest
+// trace node enclosing the sphere fetches everything inside it; and the
+// CPU filters exactly.
+//
+// The §6 anchoring generalizes to any fine metric bounded by the l1 norm:
+// the PIM side always filters under l1 (adds and compares only) with the
+// bound inflated by the metric's conversion factor, and the host applies
+// the exact fine metric to the survivors.
+func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]Neighbor {
+	out := make([][]Neighbor, len(queries))
+	if t.root == nil || k <= 0 {
+		return out
+	}
+	coarse := geom.L1
+	if t.cfg.DisableL1Anchor {
+		coarse = fine
+	}
+	keys := t.encodeKeys(queries)
+	res := t.searchKeys(keys, searchOpts{kTrack: 2 * k, trace: true})
+
+	// --- Stage A: k coarse candidates from N_q1 (Alg. 3 step 2) ---
+	starts := make([]*Node, len(queries))
+	for i := range queries {
+		if res[i].LowK != nil {
+			starts[i] = res[i].LowK
+		} else {
+			starts[i] = t.root
+		}
+	}
+	cands := t.collectKCandidates(queries, starts, k, coarse)
+
+	// --- CPU: derive the candidate spheres (step 3 setup) ---
+	// Exact fine-metric distances on the <=k candidates; rF is the k-th
+	// best; the stage-B pruning bound follows from the metric's relation
+	// to the coarse norm.
+	rF := make([]uint64, len(queries))
+	var cpuWork int64
+	for i := range queries {
+		c := cands[i]
+		for j := range c {
+			c[j].Dist = fine.Dist(c[j].Point, queries[i])
+		}
+		sort.Slice(c, func(a, b int) bool { return c[a].Dist < c[b].Dist })
+		cpuWork += int64(len(c)) * int64(t.cfg.Dims+4)
+		if len(c) == 0 {
+			rF[i] = 0
+			continue
+		}
+		kth := k
+		if kth > len(c) {
+			kth = len(c)
+		}
+		rF[i] = c[kth-1].Dist
+	}
+	t.sys.CPUPhase(cpuWork, 0, 0)
+
+	// --- Stage B: fetch the sphere contents (steps 3-4) ---
+	// margin is the per-axis half-width that contains the fine-metric
+	// ball of radius rF; coarseBound converts rF into the coarse metric:
+	//   fine = l2 (squared): ||x||1 <= sqrt(D)*||x||2,
+	//   fine = linf:         ||x||1 <= D*||x||inf,
+	//   fine = l1:           identity.
+	coarseBound := make([]uint64, len(queries))
+	margin := make([]uint64, len(queries))
+	d := float64(t.cfg.Dims)
+	for i := range queries {
+		switch fine {
+		case geom.L2:
+			r := math.Sqrt(float64(rF[i]))
+			margin[i] = uint64(math.Ceil(r))
+			if coarse == geom.L1 {
+				coarseBound[i] = uint64(math.Ceil(r * math.Sqrt(d)))
+			} else {
+				coarseBound[i] = rF[i]
+			}
+		case geom.LInf:
+			margin[i] = rF[i]
+			if coarse == geom.L1 {
+				coarseBound[i] = rF[i] * uint64(d)
+			} else {
+				coarseBound[i] = rF[i]
+			}
+		default: // L1
+			margin[i] = rF[i]
+			coarseBound[i] = rF[i]
+		}
+	}
+	startsB := make([]*Node, len(queries))
+	for i := range queries {
+		startsB[i] = t.lowestEnclosing(res[i].Trace, queries[i], margin[i])
+	}
+	sphere := t.collectSphere(queries, startsB, coarseBound, coarse)
+
+	// --- Step 5: exact CPU filter ---
+	cpuWork = 0
+	for i := range queries {
+		pts := sphere[i]
+		ns := make([]Neighbor, 0, len(pts)+len(cands[i]))
+		for _, p := range pts {
+			ns = append(ns, Neighbor{Point: p, Dist: fine.Dist(p, queries[i])})
+		}
+		cpuWork += int64(len(pts)) * int64(t.cfg.Dims+2)
+		// Candidates from stage A are sphere members too; merging them
+		// costs nothing extra and covers the k < |tree| < sphere edge.
+		ns = append(ns, cands[i]...)
+		sort.Slice(ns, func(a, b int) bool {
+			if ns[a].Dist != ns[b].Dist {
+				return ns[a].Dist < ns[b].Dist
+			}
+			return lessPoint(ns[a].Point, ns[b].Point)
+		})
+		ns = dedupeNeighbors(ns)
+		if len(ns) > k {
+			ns = ns[:k]
+		}
+		out[i] = ns
+	}
+	t.sys.CPUPhase(cpuWork+int64(len(queries))*int64(k)*costmodel.WorkHeapOp, 0, 0)
+	return out
+}
+
+func lessPoint(a, b geom.Point) bool {
+	for d := uint8(0); d < a.Dims; d++ {
+		if a.Coords[d] != b.Coords[d] {
+			return a.Coords[d] < b.Coords[d]
+		}
+	}
+	return false
+}
+
+func dedupeNeighbors(ns []Neighbor) []Neighbor {
+	out := ns[:0]
+	for i, n := range ns {
+		if i > 0 && n.Dist == ns[i-1].Dist && n.Point.Equal(ns[i-1].Point) {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// lowestEnclosing returns the lowest trace node whose box contains the
+// axis-aligned margin around q (which contains the l2 ball of that
+// radius); defaults to the root.
+func (t *Tree) lowestEnclosing(trace []*Node, q geom.Point, margin uint64) *Node {
+	for i := len(trace) - 1; i >= 0; i-- {
+		n := trace[i]
+		if ballInBox(q, margin, n.Box) {
+			return n
+		}
+	}
+	return t.root
+}
+
+// ballInBox reports whether the l2 ball of the given radius around q lies
+// inside box (using the conservative per-axis margin test).
+func ballInBox(q geom.Point, radius uint64, box geom.Box) bool {
+	for d := uint8(0); d < q.Dims; d++ {
+		c := uint64(q.Coords[d])
+		if c < uint64(box.Lo.Coords[d])+radius {
+			return false
+		}
+		if c+radius > uint64(box.Hi.Coords[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// candState tracks one query's stage-A candidate set: a bounded list of
+// the best k coarse-metric candidates seen so far.
+type candState struct {
+	best  []Neighbor // sorted ascending by coarse distance, len <= k
+	bound uint64     // k-th best coarse distance (MaxUint64 until full)
+}
+
+func newCandState(k int) *candState {
+	return &candState{best: make([]Neighbor, 0, k), bound: math.MaxUint64}
+}
+
+func (cs *candState) add(p geom.Point, d uint64, k int) {
+	if d >= cs.bound {
+		return
+	}
+	i := sort.Search(len(cs.best), func(i int) bool { return cs.best[i].Dist > d })
+	cs.best = append(cs.best, Neighbor{})
+	copy(cs.best[i+1:], cs.best[i:])
+	cs.best[i] = Neighbor{Point: p, Dist: d}
+	if len(cs.best) > k {
+		cs.best = cs.best[:k]
+	}
+	if len(cs.best) == k {
+		cs.bound = cs.best[k-1].Dist
+	}
+}
+
+// collectKCandidates runs the stage-A push-pull descent: starting at each
+// query's N_q1, BSP waves walk the chunk DAG, each chunk contributing its
+// best (at most k) coarse candidates and its still-promising exits.
+func (t *Tree) collectKCandidates(queries []geom.Point, starts []*Node, k int, coarse geom.Metric) [][]Neighbor {
+	states := make([]*candState, len(queries))
+	for i := range states {
+		states[i] = newCandState(k)
+	}
+	// Expand the CPU-resident L0 prefix of each start node.
+	var frontier []entry
+	var cpuWork int64
+	for i := range queries {
+		cpuWork += t.expandL0KNN(int32(i), starts[i], queries[i], states[i], k, coarse, &frontier)
+	}
+	t.sys.CPUPhase(cpuWork, 0, 0)
+
+	// Bounds are snapshotted per wave: modules prune against the bound
+	// shipped with the query; the CPU re-tightens between waves.
+	bounds := make([]uint64, len(states))
+	refreshBounds := func() {
+		for i, cs := range states {
+			bounds[i] = cs.bound
+		}
+	}
+	refreshBounds()
+
+	var mu sync.Mutex
+	var found []knnFound
+	scan := func(c *Chunk, e entry, cpuSide bool, exits *[]entry) (int64, int64) {
+		var o knnWaveOut
+		work, outBytes := t.knnChunkScan(c, e, queries[e.qi], bounds[e.qi], k, coarse, &o)
+		if cpuSide {
+			// Host multiplies are pipelined; rebate the PIM premium.
+			work /= 4
+		}
+		mu.Lock()
+		found = append(found, o.found...)
+		mu.Unlock()
+		*exits = append(*exits, o.exits...)
+		return work, outBytes
+	}
+	afterWave := func(exits []entry) []entry {
+		// CPU merge: fold this wave's candidates into the per-query sets
+		// and re-prune the exits against the tightened bounds.
+		var mergeWork int64
+		for _, f := range found {
+			states[f.qi].add(f.p, f.d, k)
+			mergeWork += costmodel.WorkHeapOp
+		}
+		found = found[:0]
+		refreshBounds()
+		next := exits[:0]
+		for _, e := range exits {
+			if e.node.Box.MinDistTo(queries[e.qi], coarse) <= states[e.qi].bound {
+				next = append(next, e)
+			}
+			mergeWork += 4
+		}
+		t.sys.CPUPhase(mergeWork, 0, 0)
+		return next
+	}
+	t.runPushPullWaves(frontier, knnMsgBytes, scan, afterWave)
+
+	out := make([][]Neighbor, len(queries))
+	for i, cs := range states {
+		out[i] = cs.best
+	}
+	return out
+}
+
+// expandL0KNN walks the CPU-resident L0 part of a kNN descent, scoring L0
+// leaves directly and emitting chunk entries; returns CPU work.
+func (t *Tree) expandL0KNN(qi int32, n *Node, q geom.Point, cs *candState, k int, coarse geom.Metric, frontier *[]entry) int64 {
+	var work int64
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		work += 4
+		if n.Box.MinDistTo(q, coarse) > cs.bound {
+			return
+		}
+		if n.Layer != L0 {
+			*frontier = append(*frontier, entry{qi: qi, node: n})
+			return
+		}
+		if n.IsLeaf() {
+			for _, p := range n.Pts {
+				cs.add(p, coarse.Dist(p, q), k)
+				work += int64(q.Dims) + costmodel.WorkHeapOp
+			}
+			return
+		}
+		// Nearer child first to tighten the bound early.
+		a, b := n.Left, n.Right
+		if b.Box.MinDistTo(q, coarse) < a.Box.MinDistTo(q, coarse) {
+			a, b = b, a
+		}
+		rec(a)
+		rec(b)
+	}
+	rec(n)
+	return work
+}
+
+// knnFound is one candidate discovered during a wave.
+type knnFound struct {
+	qi int32
+	p  geom.Point
+	d  uint64
+}
+
+// knnWaveOut accumulates one worker's chunk exits and candidates within a
+// wave.
+type knnWaveOut struct {
+	exits []entry
+	found []knnFound
+}
+
+// knnChunkScan traverses one chunk for one query on a PIM module: nodes in
+// the chunk are pruned against the shipped bound under the coarse metric,
+// leaf points are scored, and child-chunk exits within the bound are
+// emitted. It returns the module work and the bytes sent back.
+func (t *Tree) knnChunkScan(c *Chunk, e entry, q geom.Point, bound uint64, k int, coarse geom.Metric, o *knnWaveOut) (work, outBytes int64) {
+	local := newCandState(k)
+	if bound != math.MaxUint64 {
+		local.bound = bound
+	}
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		work += 4
+		if n.Box.MinDistTo(q, coarse) > local.bound {
+			return
+		}
+		if n.Chunk != c {
+			o.exits = append(o.exits, entry{qi: e.qi, node: n})
+			outBytes += resultMsgBytes
+			return
+		}
+		if n.IsLeaf() {
+			for _, p := range n.Pts {
+				d := coarse.Dist(p, q)
+				work += pimDistCost(coarse, q.Dims)
+				local.add(p, d, k)
+			}
+			return
+		}
+		a, b := n.Left, n.Right
+		if b.Box.MinDistTo(q, coarse) < a.Box.MinDistTo(q, coarse) {
+			a, b = b, a
+		}
+		rec(a)
+		rec(b)
+	}
+	rec(e.node)
+	for _, nb := range local.best {
+		o.found = append(o.found, knnFound{qi: e.qi, p: nb.Point, d: nb.Dist})
+		outBytes += pointBytes
+	}
+	return work, outBytes
+}
+
+// collectSphere runs the stage-B push-pull descent (Alg. 3 step 4): from
+// each query's N_q2, fetch every point within the coarse-metric bound.
+func (t *Tree) collectSphere(queries []geom.Point, starts []*Node, bound []uint64, coarse geom.Metric) [][]geom.Point {
+	out := make([][]geom.Point, len(queries))
+	var frontier []entry
+	var cpuWork int64
+	for i := range queries {
+		cpuWork += t.expandL0Sphere(int32(i), starts[i], queries[i], bound[i], coarse, &out[i], &frontier)
+	}
+	t.sys.CPUPhase(cpuWork, 0, 0)
+
+	// Several chunks of one wave may serve the same query concurrently;
+	// per-query locks guard the result slices.
+	locks := make([]sync.Mutex, len(queries))
+	pimCost := pimDistCost(coarse, t.cfg.Dims)
+	scan := func(c *Chunk, e entry, cpuSide bool, exits *[]entry) (int64, int64) {
+		distCost := pimCost
+		if cpuSide {
+			distCost = int64(t.cfg.Dims)
+		}
+		return t.sphereChunkScan(c, e, queries[e.qi], bound[e.qi], coarse, distCost, func(p geom.Point) {
+			locks[e.qi].Lock()
+			out[e.qi] = append(out[e.qi], p)
+			locks[e.qi].Unlock()
+		}, exits)
+	}
+	t.runPushPullWaves(frontier, knnMsgBytes, scan, nil)
+	return out
+}
+
+// expandL0Sphere walks the CPU-resident L0 part of a sphere fetch.
+func (t *Tree) expandL0Sphere(qi int32, n *Node, q geom.Point, bound uint64, coarse geom.Metric, out *[]geom.Point, frontier *[]entry) int64 {
+	var work int64
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		work += 4
+		if n.Box.MinDistTo(q, coarse) > bound {
+			return
+		}
+		if n.Layer != L0 {
+			*frontier = append(*frontier, entry{qi: qi, node: n})
+			return
+		}
+		if n.IsLeaf() {
+			for _, p := range n.Pts {
+				work += int64(q.Dims)
+				if coarse.Dist(p, q) <= bound {
+					*out = append(*out, p)
+				}
+			}
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(n)
+	return work
+}
+
+// sphereChunkScan traverses one chunk collecting every point within the
+// coarse bound (via addPoint) and the exits that still intersect the ball.
+func (t *Tree) sphereChunkScan(c *Chunk, e entry, q geom.Point, bound uint64, coarse geom.Metric, distCost int64, addPoint func(geom.Point), exits *[]entry) (work, outBytes int64) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		work += 4
+		if n.Box.MinDistTo(q, coarse) > bound {
+			return
+		}
+		if n.Chunk != c {
+			*exits = append(*exits, entry{qi: e.qi, node: n})
+			outBytes += resultMsgBytes
+			return
+		}
+		if n.IsLeaf() {
+			for _, p := range n.Pts {
+				work += distCost
+				if coarse.Dist(p, q) <= bound {
+					addPoint(p)
+					outBytes += pointBytes
+				}
+			}
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(e.node)
+	return work, outBytes
+}

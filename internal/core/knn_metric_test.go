@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pimzdtree/internal/geom"
+)
+
+func bruteKNNMetric(pts []geom.Point, q geom.Point, k int, m geom.Metric) []Neighbor {
+	ns := make([]Neighbor, len(pts))
+	for i, p := range pts {
+		ns[i] = Neighbor{Point: p, Dist: m.Dist(p, q)}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Dist < ns[j].Dist })
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}
+
+// TestKNNWithMetricAllMetrics checks exactness of the generalized kNN
+// under every supported fine metric, with and without l1 anchoring.
+func TestKNNWithMetricAllMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	pts := randPoints(rng, 4000, 3, 1<<16)
+	queries := randPoints(rng, 25, 3, 1<<16)
+	for _, anchorOff := range []bool{false, true} {
+		cfg := testConfig(SkewResistant)
+		cfg.DisableL1Anchor = anchorOff
+		tr := New(cfg, pts)
+		for _, metric := range []geom.Metric{geom.L1, geom.L2, geom.LInf} {
+			got := tr.KNNWithMetric(queries, 8, metric)
+			for i, q := range queries {
+				want := bruteKNNMetric(pts, q, 8, metric)
+				if len(got[i]) != len(want) {
+					t.Fatalf("anchorOff=%v metric=%v q=%d: %d results, want %d",
+						anchorOff, metric, i, len(got[i]), len(want))
+				}
+				for j := range want {
+					if got[i][j].Dist != want[j].Dist {
+						t.Fatalf("anchorOff=%v metric=%v q=%d: dist[%d]=%d want %d",
+							anchorOff, metric, i, j, got[i][j].Dist, want[j].Dist)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKNNWithMetric2D repeats the metric sweep in 2D, where the anchoring
+// conversion factors differ (sqrt(2), x2).
+func TestKNNWithMetric2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	pts := randPoints(rng, 3000, 2, 1<<14)
+	queries := randPoints(rng, 20, 2, 1<<14)
+	cfg := testConfig(ThroughputOptimized)
+	cfg.Dims = 2
+	tr := New(cfg, pts)
+	for _, metric := range []geom.Metric{geom.L1, geom.L2, geom.LInf} {
+		got := tr.KNNWithMetric(queries, 5, metric)
+		for i, q := range queries {
+			want := bruteKNNMetric(pts, q, 5, metric)
+			for j := range want {
+				if got[i][j].Dist != want[j].Dist {
+					t.Fatalf("metric=%v q=%d: dist[%d] mismatch", metric, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestAnchoringReducesPIMWork verifies the §6 claim driving the fast
+// l2-norm technique: with anchoring the PIM side avoids the expensive
+// multiplies, so total PIM cycles drop versus computing l2 on the cores.
+func TestAnchoringReducesPIMWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	pts := randPoints(rng, 30000, 3, 1<<18)
+	queries := randPoints(rng, 300, 3, 1<<18)
+
+	anchored := New(testConfig(ThroughputOptimized), pts)
+	cfgOff := testConfig(ThroughputOptimized)
+	cfgOff.DisableL1Anchor = true
+	direct := New(cfgOff, pts)
+
+	anchored.System().ResetMetrics()
+	anchored.KNN(queries, 10)
+	aCycles := anchored.System().Metrics().PIMCycleTotal
+
+	direct.System().ResetMetrics()
+	direct.KNN(queries, 10)
+	dCycles := direct.System().Metrics().PIMCycleTotal
+
+	if aCycles >= dCycles {
+		t.Fatalf("anchoring did not reduce PIM cycles: %d vs %d", aCycles, dCycles)
+	}
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"math"
+
+	"pimzdtree/internal/pim"
+)
+
+// computeThresholds derives the layer thresholds from the current size and
+// the selected tuning (Table 2). The size feeding ThetaL0 = n/P is itself
+// tracked lazily (it re-bases only when n doubles or halves): exact
+// tracking would shift the layer boundary on every batch and force chunk
+// churn, the same problem lazy counters solve for per-node sizes (§3.4).
+func (t *Tree) computeThresholds() {
+	n := int64(t.Size())
+	if t.thetaBaseN == 0 || n > 2*t.thetaBaseN || n < t.thetaBaseN/2 {
+		t.thetaBaseN = n
+	}
+	n = t.thetaBaseN
+	p := int64(t.P())
+	switch t.cfg.Tuning {
+	case ThroughputOptimized:
+		t.thetaL0 = n / p
+		if t.thetaL0 < 2 {
+			t.thetaL0 = 2
+		}
+		t.thetaL1 = 1
+		t.chunkB = t.thetaL0
+	case SkewResistant:
+		t.thetaL0 = 4 * p
+		if t.thetaL0 < 64 {
+			t.thetaL0 = 64
+		}
+		t.chunkB = 16
+		lg := math.Log(float64(p)) / math.Log(float64(t.chunkB))
+		t.thetaL1 = int64(math.Ceil(lg))
+		if t.thetaL1 < 2 {
+			t.thetaL1 = 2
+		}
+	case Custom:
+		t.thetaL0 = t.cfg.ThetaL0
+		t.thetaL1 = t.cfg.ThetaL1
+		t.chunkB = t.cfg.B
+		if t.thetaL0 < 2 {
+			t.thetaL0 = 2
+		}
+		if t.thetaL1 < 1 {
+			t.thetaL1 = 1
+		}
+		if t.chunkB < 2 {
+			t.chunkB = 2
+		}
+	}
+	if t.thetaL1 > t.thetaL0 {
+		t.thetaL1 = t.thetaL0
+	}
+}
+
+// layerOf returns the layer a node belongs to given its lazy snapshot and
+// the parent's layer (layers are monotone down the tree). Transitions use
+// a factor-2 hysteresis band — a node enters a layer when SC crosses the
+// threshold but only leaves once SC falls below half of it. Lemma 3.1
+// already grants snapshots a factor-2 tolerance, so the band changes no
+// cost bound, and it keeps chunk roots (and thus placement) stable while
+// subtrees drift around the thresholds; without it every batch would
+// re-ship the chunks whose roots sit near the boundary.
+func (t *Tree) layerOf(n *Node, parentLayer Layer) Layer {
+	cur := n.Layer
+	l0Stay, l1Stay := t.thetaL0/2, t.thetaL1/2
+	if l0Stay < 1 {
+		l0Stay = 1
+	}
+	if l1Stay < 1 {
+		l1Stay = 1
+	}
+	var l Layer
+	switch {
+	case n.SC >= t.thetaL0 || (cur == L0 && n.SC >= l0Stay):
+		l = L0
+	case n.SC >= t.thetaL1 || (cur != layerNew && cur != L2 && n.SC >= l1Stay):
+		l = L1
+	default:
+		l = L2
+	}
+	if l < parentLayer {
+		l = parentLayer
+	}
+	return l
+}
+
+// relayout recomputes layer assignment, chunking and placement from the
+// current logical tree, charging the physical cost of every change:
+// moved/new chunks cross the channels, L1 cache replicas are refreshed, and
+// promotions to a module-replicated L0 are broadcast. Unchanged chunks
+// (same ID, same module, no dirty node) cost nothing, so steady-state
+// batches only pay for what they touched.
+func (t *Tree) relayout() {
+	t.computeThresholds()
+	old := t.chunks
+	t.chunks = make(map[uint64]*Chunk, len(old))
+	t.l0Count = 0
+	t.l0Bytes = 0
+
+	var promoted, demoted int64
+	var moveBytes map[int]int64 = make(map[int]int64)
+	var l0Broadcast int64
+
+	if t.root != nil {
+		t.assignLayers(t.root, L0, &promoted, &demoted)
+		t.l0OnModules = t.l0Bytes > t.cfg.CacheBudget
+		// Rehoming threshold from the previous layout: overloaded means
+		// more than twice the fair per-module share plus slack for hash
+		// variance (a handful of average chunks), so ordinary placement
+		// noise never triggers migration churn.
+		total, _ := t.sys.StoredBytesTotal()
+		fair := total / int64(t.P())
+		var avgChunk int64
+		if len(old) > 0 {
+			avgChunk = total / int64(len(old))
+		}
+		t.rehomeThreshold = 2*fair + 8*avgChunk + 16<<10
+		t.chunkifyFrom(t.root, nil)
+	} else {
+		t.l0OnModules = false
+	}
+
+	// Diff against the previous layout to charge movement. A chunk ships
+	// in full when its data genuinely crosses the channel: the initial
+	// bulk distribution (first layout), a module change, or an overload
+	// rehoming. Re-rooted, fresh, or edited-in-place chunks in steady
+	// state exchange structural delta messages only — their payload bytes
+	// were already delivered by the update rounds (Alg. 2 steps 2-3) or
+	// never moved, and charging them again would double-count.
+	const deltaMsgBytes = 64
+	initialLoad := !t.bootstrapped
+	anyChange := false
+	for id, c := range t.chunks {
+		prev, ok := old[id]
+		moved := c.migrated || (ok && prev.Module != c.Module) || (!ok && initialLoad)
+		edited := !moved &&
+			(!ok || prev.NodeCount != c.NodeCount || prev.Bytes != c.Bytes || t.chunkDirty(c))
+		if !moved && !edited {
+			continue
+		}
+		anyChange = true
+		var masterBytes, cacheBytes int64
+		if moved {
+			t.movedChunks++
+			masterBytes = c.Bytes
+			cacheBytes = int64(c.NodeCount) * nodeBytes
+		} else {
+			t.editedChunks++
+			masterBytes = deltaMsgBytes
+			cacheBytes = deltaMsgBytes
+		}
+		t.moveBytesTotal += masterBytes
+		moveBytes[c.Module] += masterBytes
+		if c.Layer == L1 {
+			// Refresh this chunk's cached structure at its ancestor and
+			// descendant L1 chunks (the §3.1 sharing set).
+			for _, holder := range t.cacheHolders(c) {
+				moveBytes[holder] += cacheBytes
+			}
+		}
+	}
+	if promoted > 0 && t.l0OnModules {
+		l0Broadcast = promoted * nodeBytes
+	}
+	t.promotions += promoted
+	t.demotions += demoted
+
+	if anyChange || l0Broadcast > 0 {
+		// Alg. 2 step 3c/3d: two communication rounds apply the cache and
+		// layer modifications.
+		modules := make([]int, 0, len(moveBytes))
+		for m := range moveBytes {
+			modules = append(modules, m)
+		}
+		t.sys.Round(modules, func(m *pim.Module) {
+			m.Recv(moveBytes[m.ID])
+			m.Work(moveBytes[m.ID] / 8)
+		})
+		if l0Broadcast > 0 {
+			t.sys.Broadcast(l0Broadcast)
+		} else {
+			t.sys.Round(nil, func(m *pim.Module) {})
+		}
+	}
+
+	t.recomputeFootprints()
+	t.clearDirty(t.root)
+	t.bootstrapped = true
+}
+
+// assignLayers walks the tree setting each node's Layer from its lazy
+// snapshot, counting transitions, and accumulating L0 statistics.
+func (t *Tree) assignLayers(n *Node, parentLayer Layer, promoted, demoted *int64) {
+	newLayer := t.layerOf(n, parentLayer)
+	if n.Layer != newLayer && n.Layer != layerNew {
+		if newLayer < n.Layer {
+			*promoted++
+		} else {
+			*demoted++
+		}
+	}
+	n.Layer = newLayer
+	if newLayer == L0 {
+		n.Chunk = nil
+	}
+	if newLayer == L0 {
+		t.l0Count++
+		t.l0Bytes += nodeFootprint(n)
+	}
+	if n.IsLeaf() {
+		return
+	}
+	t.assignLayers(n.Left, newLayer, promoted, demoted)
+	t.assignLayers(n.Right, newLayer, promoted, demoted)
+}
+
+// chunkifyFrom walks from the root creating chunks for every maximal
+// non-L0 region, applying the subtree-size chunking rule of §3.2.
+func (t *Tree) chunkifyFrom(n *Node, parent *Chunk) {
+	if n.Layer != L0 {
+		t.buildChunk(n, parent)
+		return
+	}
+	if n.IsLeaf() {
+		return
+	}
+	t.chunkifyFrom(n.Left, nil)
+	t.chunkifyFrom(n.Right, nil)
+}
+
+// buildChunk creates the chunk rooted at r: r plus every same-layer
+// descendant d reached through members with SC(d) > SC(r)/B. Descendants
+// that fall out of the chunk (or change layer) become child chunk roots.
+func (t *Tree) buildChunk(r *Node, parent *Chunk) *Chunk {
+	id := chunkID(r)
+	// Placement: a re-rooted chunk (its root already lived in a chunk)
+	// keeps that module — masters do not move when a meta-node is split
+	// by promotion or growth. Fresh roots hash to a random module (§3's
+	// randomized placement). Brand-new subtrees created by an update were
+	// materialized directly on their parent chunk's module by the update
+	// rounds, so they inherit it. Inheritance is overridden (a genuine,
+	// fully charged move) when the inherited module already holds more
+	// than twice its fair share — without this, sustained growth in one
+	// region would pile that region's chunks onto one module.
+	hashModule := int(pim.Hash64(id) % uint64(t.P()))
+	module := hashModule
+	migrated := false
+	inherit := -1
+	if r.Chunk != nil {
+		inherit = r.Chunk.Module
+	} else if parent != nil && t.bootstrapped {
+		inherit = parent.Module
+	}
+	if inherit >= 0 {
+		if t.rehomeThreshold > 0 && t.sys.Module(inherit).StoredBytes() > t.rehomeThreshold && hashModule != inherit {
+			migrated = true // rehome to the hash target
+		} else {
+			module = inherit
+		}
+	}
+	c := &Chunk{
+		ID:       id,
+		Module:   module,
+		Layer:    r.Layer,
+		Root:     r,
+		Parent:   parent,
+		migrated: migrated,
+	}
+	if parent != nil {
+		c.Depth = parent.Depth + 1
+		parent.Children = append(parent.Children, c)
+	}
+	threshold := r.SC / t.chunkB
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.Chunk = c
+		c.NodeCount++
+		c.Bytes += nodeFootprint(n)
+		if n.IsLeaf() {
+			return
+		}
+		for _, ch := range []*Node{n.Left, n.Right} {
+			if ch.Layer == r.Layer && ch.SC > threshold {
+				walk(ch)
+			} else {
+				t.buildChunk(ch, c)
+			}
+		}
+	}
+	walk(r)
+	// Practical chunking (§6): dense chunks index children with a B-slot
+	// table; sparse chunks use paired key/pointer arrays.
+	c.Dense = int64(c.NodeCount) >= t.chunkB/4
+	var overhead int64
+	if c.Dense {
+		overhead = t.chunkB * 8
+		if overhead > 4096 {
+			overhead = 4096
+		}
+	} else {
+		overhead = int64(c.NodeCount) * 16
+	}
+	c.Bytes += overhead + chunkHeaderBytes
+	c.StructBytes = int64(c.NodeCount)*nodeBytes + overhead + chunkHeaderBytes
+	t.chunks[id] = c
+	return c
+}
+
+// chunkID derives a stable identifier from the chunk root's identity, so
+// unchanged subtrees keep their chunk (and module) across relayouts.
+func chunkID(r *Node) uint64 {
+	return pim.Hash64(r.Key ^ uint64(r.PrefixLen)<<56 ^ 0x5bf03635)
+}
+
+// cacheHolders returns the modules that hold cached copies of c's
+// structure: the modules of its L1 ancestors and L1 descendants (§3.1).
+func (t *Tree) cacheHolders(c *Chunk) []int {
+	var holders []int
+	for a := c.Parent; a != nil; a = a.Parent {
+		if a.Layer == L1 {
+			holders = append(holders, a.Module)
+		}
+	}
+	var walk func(d *Chunk)
+	walk = func(d *Chunk) {
+		for _, ch := range d.Children {
+			if ch.Layer == L1 {
+				holders = append(holders, ch.Module)
+				walk(ch)
+			}
+		}
+	}
+	walk(c)
+	return holders
+}
+
+// chunkDirty reports whether any node in c was structurally modified since
+// the last relayout.
+func (t *Tree) chunkDirty(c *Chunk) bool {
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n.dirty {
+			return true
+		}
+		if n.IsLeaf() {
+			return false
+		}
+		for _, ch := range []*Node{n.Left, n.Right} {
+			if ch.Chunk == c && walk(ch) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(c.Root)
+}
+
+// clearDirty resets dirty flags below n.
+func (t *Tree) clearDirty(n *Node) {
+	if n == nil {
+		return
+	}
+	n.dirty = false
+	if n.IsLeaf() {
+		return
+	}
+	t.clearDirty(n.Left)
+	t.clearDirty(n.Right)
+}
+
+// recomputeFootprints refreshes the modeled per-module memory footprint:
+// master chunks, L1 cache copies, and (if L0 lives on modules) the L0
+// replica.
+func (t *Tree) recomputeFootprints() {
+	foot := make([]int64, t.P())
+	for _, c := range t.chunks {
+		foot[c.Module] += c.Bytes
+		if c.Layer == L1 {
+			struct_ := int64(c.NodeCount) * nodeBytes
+			for _, holder := range t.cacheHolders(c) {
+				foot[holder] += struct_
+			}
+		}
+	}
+	if t.l0OnModules {
+		for i := range foot {
+			foot[i] += t.l0Bytes
+		}
+	}
+	for i := range foot {
+		m := t.sys.Module(i)
+		m.StoreBytes(foot[i] - m.StoredBytes())
+	}
+}

@@ -1,0 +1,506 @@
+package core
+
+import (
+	"math"
+
+	"pimzdtree/internal/geom"
+	"pimzdtree/internal/morton"
+	"pimzdtree/internal/parallel"
+	"pimzdtree/internal/pim"
+)
+
+// SearchResult describes where one top-down search ended (Alg. 1).
+type SearchResult struct {
+	// Terminal is the leaf the query key routes to, or the node at which
+	// the key diverges from the stored prefixes (the insertion point for
+	// keys not in the tree).
+	Terminal *Node
+	// LowK is the lowest node on the path whose lazy counter satisfies
+	// SC >= k (populated when the search was asked to track some k;
+	// Alg. 3 step 2).
+	LowK *Node
+	// Trace lists the L0 path nodes and each chunk-entry node visited,
+	// root-first (populated when tracing is on; Alg. 2 step 1 and
+	// Alg. 3 steps 3-4 re-ascend through it).
+	Trace []*Node
+}
+
+// searchOpts controls trace collection.
+type searchOpts struct {
+	kTrack int  // record LowK for this k (0 = off)
+	trace  bool // record Trace
+}
+
+// Search routes a batch of query points to their leaves using the
+// three-phase push-pull search of Alg. 1 and returns one result per query.
+func (t *Tree) Search(points []geom.Point) []SearchResult {
+	keys := t.encodeKeys(points)
+	return t.searchKeys(keys, searchOpts{})
+}
+
+// encodeKeys computes Morton keys on the host, charging the configured
+// z-order encoder's cost.
+func (t *Tree) encodeKeys(points []geom.Point) []uint64 {
+	keys := make([]uint64, len(points))
+	parallel.For(len(points), func(i int) {
+		if points[i].Dims != t.cfg.Dims {
+			panic("core: query dims mismatch")
+		}
+		keys[i] = morton.EncodePoint(points[i])
+	})
+	zCost := morton.CostFast(t.cfg.Dims)
+	if t.cfg.NaiveZOrder {
+		zCost = morton.CostNaive(t.cfg.Dims)
+	}
+	t.sys.CPUPhase(int64(len(points))*zCost, 0, 0)
+	return keys
+}
+
+// entry is one in-flight query positioned at a chunk-entry node.
+type entry struct {
+	qi   int32
+	node *Node
+}
+
+// searchKeys is the batched search core.
+func (t *Tree) searchKeys(keys []uint64, opts searchOpts) []SearchResult {
+	res := make([]SearchResult, len(keys))
+	if t.root == nil {
+		return res
+	}
+
+	// --- Phase 1: L0 ---
+	frontier := t.searchL0(keys, opts, res)
+
+	// --- Phase 2: L1 pull loop + push ---
+	frontier = t.searchL1(keys, opts, res, frontier)
+
+	// --- Phase 3: L2 push-pull, one round per meta-level ---
+	t.searchL2(keys, opts, res, frontier)
+	return res
+}
+
+// descendL0 walks one query through L0 on whatever processor runs it,
+// returning the first non-L0 node (chunk entry) or the in-L0 terminal, and
+// the number of nodes visited.
+func (t *Tree) descendL0(key uint64, opts searchOpts, r *SearchResult) (*Node, int64) {
+	n := t.root
+	var visited int64
+	for {
+		if n.Layer != L0 {
+			// The chunk-entry node is observed by the phase that
+			// processes it, exactly once.
+			return n, visited
+		}
+		visited++
+		t.observe(n, key, opts, r)
+		if n.IsLeaf() || !t.sharesPrefix(key, n) {
+			r.Terminal = n
+			return nil, visited
+		}
+		n = t.childFor(n, key)
+	}
+}
+
+// observe updates per-query trace state at a visited node.
+func (t *Tree) observe(n *Node, key uint64, opts searchOpts, r *SearchResult) {
+	if opts.kTrack > 0 && n.SC >= int64(opts.kTrack) && t.sharesPrefix(key, n) {
+		r.LowK = n
+	}
+	if opts.trace {
+		r.Trace = append(r.Trace, n)
+	}
+}
+
+// searchL0 runs phase 1 and returns the frontier of (query, chunk-entry)
+// pairs that left L0.
+func (t *Tree) searchL0(keys []uint64, opts searchOpts, res []SearchResult) []entry {
+	frontier := make([]entry, len(keys))
+	visits := make([]int64, len(keys))
+	run := func(i int) {
+		n, v := t.descendL0(keys[i], opts, &res[i])
+		visits[i] = v
+		if n != nil {
+			frontier[i] = entry{qi: int32(i), node: n}
+		} else {
+			frontier[i] = entry{qi: -1}
+		}
+	}
+	if t.l0OnModules && len(keys) > 0 {
+		// Alg. 1 step 1 option (2): split Q into P groups, each searched
+		// against the module's L0 replica.
+		p := t.P()
+		t.sys.Round(t.sys.AllModules(), func(m *pim.Module) {
+			lo := m.ID * len(keys) / p
+			hi := (m.ID + 1) * len(keys) / p
+			m.Recv(int64(hi-lo) * queryMsgBytes)
+			for i := lo; i < hi; i++ {
+				run(i)
+				m.Work(visits[i] * 4)
+			}
+			m.Send(int64(hi-lo) * resultMsgBytes)
+		})
+	} else {
+		parallel.For(len(keys), func(i int) { run(i) })
+		// L0 fits in the CPU cache: compute cost only, no DRAM traffic.
+		t.sys.CPUPhase(parallel.Sum(visits)*4, 0, 0)
+	}
+	out := frontier[:0]
+	for _, e := range frontier {
+		if e.qi >= 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// pullThresholdL1 is K = B log_P(ThetaL0/ThetaL1) from Alg. 1 step 2a.
+func (t *Tree) pullThresholdL1() int {
+	p := float64(t.P())
+	ratio := float64(t.thetaL0) / float64(max64(t.thetaL1, 1))
+	k := float64(t.chunkB)
+	if p > 1 && ratio > 1 {
+		k = float64(t.chunkB) * math.Log(ratio) / math.Log(p)
+	}
+	if k < 1 {
+		k = 1
+	}
+	return int(k)
+}
+
+// traverseChunkMaster walks a query from nd through its chunk's master
+// structure only (used for pulled chunks, whose caches are deliberately
+// not fetched), stopping on chunk exit, leaf, or prefix divergence.
+func (t *Tree) traverseChunkMaster(key uint64, nd *Node, opts searchOpts, r *SearchResult) (next *Node, visited int64) {
+	c := nd.Chunk
+	n := nd
+	for {
+		visited++
+		t.observe(n, key, opts, r)
+		if n.IsLeaf() || !t.sharesPrefix(key, n) {
+			r.Terminal = n
+			return nil, visited
+		}
+		ch := t.childFor(n, key)
+		if ch.Chunk != c {
+			return ch, visited
+		}
+		n = ch
+	}
+}
+
+// traverseL1Cached walks a query from an L1 entry through the entry
+// module's cached copy of the whole remaining L1 structure (§3.1), exiting
+// at the first L2 node, leaf, or divergence.
+func (t *Tree) traverseL1Cached(key uint64, nd *Node, opts searchOpts, r *SearchResult) (next *Node, visited int64) {
+	n := nd
+	for {
+		if n.Layer == L2 {
+			// Observed by the L2 phase that receives it.
+			return n, visited
+		}
+		visited++
+		t.observe(n, key, opts, r)
+		if n.IsLeaf() || !t.sharesPrefix(key, n) {
+			r.Terminal = n
+			return nil, visited
+		}
+		n = t.childFor(n, key)
+	}
+}
+
+// groupByChunk semisorts entries by chunk identity.
+type chunkGroup struct {
+	chunk   *Chunk
+	entries []entry
+}
+
+func (t *Tree) groupByChunk(frontier []entry) []chunkGroup {
+	if len(frontier) == 0 {
+		return nil
+	}
+	groups := parallel.Semisort(frontier, func(e entry) uint64 { return e.node.Chunk.ID })
+	t.sys.CPUPhase(parallel.CountingSortWork(len(frontier)), int64(len(frontier))*8, 0)
+	out := make([]chunkGroup, len(groups))
+	for i, g := range groups {
+		out[i] = chunkGroup{chunk: frontier[g.Lo].node.Chunk, entries: frontier[g.Lo:g.Hi]}
+	}
+	return out
+}
+
+// moduleLoads sums per-module query counts over groups.
+func moduleLoads(groups []chunkGroup) map[int]int {
+	loads := make(map[int]int)
+	for _, g := range groups {
+		loads[g.chunk.Module] += len(g.entries)
+	}
+	return loads
+}
+
+// searchL1 runs Alg. 1 steps 2-3 and returns the L2 frontier.
+func (t *Tree) searchL1(keys []uint64, opts searchOpts, res []SearchResult, frontier []entry) []entry {
+	var l2 []entry
+	appendNext := func(qi int32, n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Layer == L2 {
+			l2 = append(l2, entry{qi: qi, node: n})
+		} else {
+			frontier = append(frontier, entry{qi: qi, node: n})
+		}
+	}
+
+	// Keep only L1 entries; anything already in L2 skips ahead.
+	pending := frontier
+	frontier = frontier[:0]
+	for _, e := range pending {
+		appendNext(e.qi, e.node)
+	}
+
+	kPull := t.pullThresholdL1()
+	for iter := 0; len(frontier) > 0 && iter < 64; iter++ {
+		groups := t.groupByChunk(frontier)
+		loads := moduleLoads(groups)
+		if !pim.Imbalanced(loads, t.P()) {
+			break
+		}
+		// Alg. 1 step 2a: pull every meta-node holding more than K
+		// queries. If none qualifies, the residual imbalance is from
+		// hash placement (several cool chunks sharing a module), which
+		// pulling cannot fix — push as-is, as the balls-into-bins bound
+		// (Lemma 5.2) licenses.
+		var pulled, rest []chunkGroup
+		for _, g := range groups {
+			if len(g.entries) > kPull {
+				pulled = append(pulled, g)
+			} else {
+				rest = append(rest, g)
+			}
+		}
+		if len(pulled) == 0 {
+			break
+		}
+		// Collect the pulled queries' next hops separately: they rejoin
+		// the frontier after it is rebuilt from the un-pulled groups.
+		var pulledNext []entry
+		t.pullAndAdvance(keys, opts, res, pulled, func(qi int32, n *Node) {
+			if n.Layer == L2 {
+				l2 = append(l2, entry{qi: qi, node: n})
+			} else {
+				pulledNext = append(pulledNext, entry{qi: qi, node: n})
+			}
+		})
+		frontier = frontier[:0]
+		for _, g := range rest {
+			frontier = append(frontier, g.entries...)
+		}
+		frontier = append(frontier, pulledNext...)
+	}
+
+	if len(frontier) > 0 {
+		// Alg. 1 step 3: push balanced queries; the entry module's L1
+		// caching finishes the whole L1 segment in this single round.
+		groups := t.groupByChunk(frontier)
+		next := make([]*Node, len(keys))
+		t.roundOverGroups(groups, func(m *pim.Module, g chunkGroup) {
+			m.Recv(int64(len(g.entries)) * queryMsgBytes)
+			for _, e := range g.entries {
+				nd, visited := t.traverseL1Cached(keys[e.qi], e.node, opts, &res[e.qi])
+				m.Work(visited * 4)
+				next[e.qi] = nd
+			}
+			m.Send(int64(len(g.entries)) * resultMsgBytes)
+		})
+		for _, g := range groups {
+			for _, e := range g.entries {
+				appendNext(e.qi, next[e.qi])
+			}
+		}
+	}
+	return l2
+}
+
+// searchL2 runs Alg. 1 step 4: one push-pull round per L2 meta-level.
+func (t *Tree) searchL2(keys []uint64, opts searchOpts, res []SearchResult, frontier []entry) {
+	kPull := int(t.chunkB) // K = B
+	for len(frontier) > 0 {
+		groups := t.groupByChunk(frontier)
+		var pulled, pushed []chunkGroup
+		for _, g := range groups {
+			if len(g.entries) > kPull {
+				pulled = append(pulled, g)
+			} else {
+				pushed = append(pushed, g)
+			}
+		}
+		nextOf := make([]*Node, len(keys))
+		record := func(qi int32, n *Node) { nextOf[qi] = n }
+
+		// Single BSP round: pulled chunks ship their masters up; pushed
+		// queries descend one meta-level on their modules.
+		t.pullAndAdvanceInRound(keys, opts, res, pulled, pushed, record)
+
+		frontier = frontier[:0]
+		for _, g := range groups {
+			for _, e := range g.entries {
+				if n := nextOf[e.qi]; n != nil {
+					frontier = append(frontier, entry{qi: e.qi, node: n})
+				}
+			}
+		}
+	}
+}
+
+// pullAndAdvance executes a pull-only round: each pulled chunk's module
+// sends its master structure to the CPU, which traverses the chunk and
+// advances its queries one meta-level (Alg. 1 excludes caches from pulls,
+// so pulled queries move exactly one chunk per round).
+func (t *Tree) pullAndAdvance(keys []uint64, opts searchOpts, res []SearchResult, pulled []chunkGroup, appendNext func(int32, *Node)) {
+	if len(pulled) == 0 {
+		return
+	}
+	perModule := make(map[int][]chunkGroup)
+	for _, g := range pulled {
+		perModule[g.chunk.Module] = append(perModule[g.chunk.Module], g)
+	}
+	active := make([]int, 0, len(perModule))
+	for m := range perModule {
+		active = append(active, m)
+	}
+	t.sys.Round(active, func(m *pim.Module) {
+		for _, g := range perModule[m.ID] {
+			m.Send(g.chunk.StructBytes)
+		}
+	})
+	var cpuWork, cpuBytes int64
+	for _, g := range pulled {
+		t.pulls++
+		cpuBytes += g.chunk.StructBytes
+		for _, e := range g.entries {
+			nd, visited := t.traverseChunkMaster(keys[e.qi], e.node, opts, &res[e.qi])
+			cpuWork += visited * 4
+			if nd != nil {
+				appendNext(e.qi, nd)
+			}
+		}
+	}
+	t.sys.CPUPhase(cpuWork, cpuBytes, 0)
+}
+
+// pullAndAdvanceInRound executes one combined push-pull BSP round over L2
+// groups: pulled chunks ship masters, pushed queries run on modules; both
+// advance exactly one meta-level.
+func (t *Tree) pullAndAdvanceInRound(keys []uint64, opts searchOpts, res []SearchResult, pulled, pushed []chunkGroup, record func(int32, *Node)) {
+	perModulePush := make(map[int][]chunkGroup)
+	for _, g := range pushed {
+		perModulePush[g.chunk.Module] = append(perModulePush[g.chunk.Module], g)
+	}
+	perModulePull := make(map[int][]chunkGroup)
+	for _, g := range pulled {
+		perModulePull[g.chunk.Module] = append(perModulePull[g.chunk.Module], g)
+	}
+	activeSet := make(map[int]bool)
+	for m := range perModulePush {
+		activeSet[m] = true
+	}
+	for m := range perModulePull {
+		activeSet[m] = true
+	}
+	active := make([]int, 0, len(activeSet))
+	for m := range activeSet {
+		active = append(active, m)
+	}
+	if len(active) == 0 {
+		return
+	}
+	type pushRes struct {
+		qi int32
+		n  *Node
+	}
+	results := make([][]pushRes, len(active))
+	idxOf := make(map[int]int, len(active))
+	for i, m := range active {
+		idxOf[m] = i
+	}
+	t.sys.Round(active, func(m *pim.Module) {
+		var out []pushRes
+		for _, g := range perModulePull[m.ID] {
+			m.Send(g.chunk.StructBytes)
+		}
+		for _, g := range perModulePush[m.ID] {
+			m.Recv(int64(len(g.entries)) * queryMsgBytes)
+			for _, e := range g.entries {
+				nd, visited := t.traverseChunkMaster(keys[e.qi], e.node, opts, &res[e.qi])
+				m.Work(visited * 4)
+				out = append(out, pushRes{qi: e.qi, n: nd})
+			}
+			m.Send(int64(len(g.entries)) * resultMsgBytes)
+		}
+		results[idxOf[m.ID]] = out
+	})
+	for _, out := range results {
+		for _, pr := range out {
+			if pr.n != nil {
+				record(pr.qi, pr.n)
+			}
+		}
+	}
+	var cpuWork, cpuBytes int64
+	for _, g := range pulled {
+		t.pulls++
+		cpuBytes += g.chunk.StructBytes
+		for _, e := range g.entries {
+			nd, visited := t.traverseChunkMaster(keys[e.qi], e.node, opts, &res[e.qi])
+			cpuWork += visited * 4
+			if nd != nil {
+				record(e.qi, nd)
+			}
+		}
+	}
+	if len(pulled) > 0 {
+		t.sys.CPUPhase(cpuWork, cpuBytes, 0)
+	}
+}
+
+// roundOverGroups runs one BSP round with each group's queries processed
+// on the group's module.
+func (t *Tree) roundOverGroups(groups []chunkGroup, handler func(m *pim.Module, g chunkGroup)) {
+	perModule := make(map[int][]chunkGroup)
+	for _, g := range groups {
+		perModule[g.chunk.Module] = append(perModule[g.chunk.Module], g)
+	}
+	active := make([]int, 0, len(perModule))
+	for m := range perModule {
+		active = append(active, m)
+	}
+	t.sys.Round(active, func(m *pim.Module) {
+		for _, g := range perModule[m.ID] {
+			handler(m, g)
+		}
+	})
+}
+
+// Contains reports whether the tree stores a point equal to p. It uses a
+// single-query search (mainly for tests; real workloads batch).
+func (t *Tree) Contains(p geom.Point) bool {
+	res := t.Search([]geom.Point{p})
+	term := res[0].Terminal
+	if term == nil || !term.IsLeaf() {
+		return false
+	}
+	key := morton.EncodePoint(p)
+	for i, k := range term.Keys {
+		if k == key && term.Pts[i].Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,530 @@
+package core
+
+import (
+	"fmt"
+
+	"pimzdtree/internal/geom"
+	"pimzdtree/internal/morton"
+	"pimzdtree/internal/parallel"
+	"pimzdtree/internal/pim"
+)
+
+// updateStats accumulates the physical costs of one update batch, charged
+// as the communication rounds of Alg. 2 after the logical merge.
+type updateStats struct {
+	leafIn    map[int]int64 // point payload bytes delivered per module (step 3a)
+	leafWork  map[int]int64 // per-module PIM work for leaf edits and splits
+	linkBytes map[int]int64 // parent-child link fixes per module (step 3b)
+	syncBytes map[int]int64 // lazy-counter snapshot propagation (step 3e)
+	newNodes  int64
+	ops       int64
+}
+
+func newUpdateStats() *updateStats {
+	return &updateStats{
+		leafIn:    make(map[int]int64),
+		leafWork:  make(map[int]int64),
+		linkBytes: make(map[int]int64),
+		syncBytes: make(map[int]int64),
+	}
+}
+
+// moduleOf returns the module holding n's master, or -1 for CPU-resident
+// L0 nodes.
+func (t *Tree) moduleOf(n *Node) int {
+	if n.Chunk != nil {
+		return n.Chunk.Module
+	}
+	if t.l0OnModules {
+		return 0 // owner-of-record for bookkeeping; replicas get broadcasts
+	}
+	return -1
+}
+
+// Insert adds a batch of points (Alg. 2). The batch is searched (step 1,
+// priced as a full push-pull search), merged into the logical tree with
+// exact master counters and lazy snapshots (steps 2, 3a, 3b, 3e), and the
+// layout pass applies cache modification and promotion/demotion rounds
+// (steps 3c, 3d).
+func (t *Tree) Insert(points []geom.Point) {
+	if len(points) == 0 {
+		return
+	}
+	kps := t.makeKeyed(points)
+	parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+	t.chargeHostSort(len(kps))
+
+	// Step 1: SEARCH(Q) — prices the search rounds and yields the traces.
+	keys := make([]uint64, len(kps))
+	for i, kp := range kps {
+		keys[i] = kp.key
+	}
+	if t.root != nil {
+		t.searchKeys(keys, searchOpts{})
+	}
+
+	st := newUpdateStats()
+	st.ops = int64(len(kps))
+	if t.root == nil {
+		t.root = t.buildLogical(kps)
+		t.markNew(t.root)
+		st.newNodes = int64(len(kps))
+	} else {
+		t.root = t.insertRec(t.root, kps, st)
+	}
+	t.chargeUpdateRounds(st)
+	t.relayout()
+}
+
+// markNew flags a freshly built subtree as dirty at its root (the layout
+// diff walks chunks, so one flag per new region suffices) — and counts it.
+func (t *Tree) markNew(n *Node) {
+	n.dirty = true
+}
+
+// insertRec merges the sorted batch into the subtree at n (sequential: the
+// physical parallelism is modeled by the cost accounting, and a serial
+// merge keeps counter updates race-free).
+func (t *Tree) insertRec(n *Node, kps []keyed, st *updateStats) *Node {
+	if len(kps) == 0 {
+		return n
+	}
+	// Divergence from n's prefix (minimum attained at the sorted ends).
+	dp := uint(n.PrefixLen)
+	if l := t.cplWithNode(kps[0].key, n); l < dp {
+		dp = l
+	}
+	if l := t.cplWithNode(kps[len(kps)-1].key, n); l < dp {
+		dp = l
+	}
+	if dp < uint(n.PrefixLen) {
+		// Split the compressed edge above n (Alg. 2 step 2c): a new
+		// internal node at the divergence level adopts n on one side and
+		// a fresh subtree on the other. The batch keys that stay on n's
+		// side recurse (they may diverge deeper; dedup of identical new
+		// nodes — step 2d — falls out of the batch recursion, which
+		// creates each node once).
+		bit := t.keyBits() - 1 - dp
+		split := splitAtBit(kps, bit)
+		nodeBit := morton.BitAt(n.Key, bit)
+		var sameSide, otherSide []keyed
+		if nodeBit == 0 {
+			sameSide, otherSide = kps[:split], kps[split:]
+		} else {
+			otherSide, sameSide = kps[:split], kps[split:]
+		}
+		if len(otherSide) == 0 {
+			return t.insertRec(n, sameSide, st)
+		}
+		parent := &Node{
+			Key:       n.Key,
+			PrefixLen: uint8(dp),
+			Box:       morton.PrefixBox(n.Key, dp, t.cfg.Dims),
+			Layer:     layerNew,
+			dirty:     true,
+		}
+		st.newNodes++
+		st.linkBytes[nonNeg(t.moduleOf(n))] += linkMsgBytes
+		same := t.insertRec(n, sameSide, st)
+		other := t.buildLogical(otherSide)
+		t.markNew(other)
+		st.newNodes += int64(len(otherSide))
+		st.leafIn[nonNeg(t.moduleOf(n))] += int64(len(otherSide)) * pointBytes
+		if nodeBit == 0 {
+			parent.Left, parent.Right = same, other
+		} else {
+			parent.Left, parent.Right = other, same
+		}
+		parent.Size = parent.Left.Size + parent.Right.Size
+		parent.SC = parent.Size
+		return parent
+	}
+
+	if n.IsLeaf() {
+		return t.insertIntoLeaf(n, kps, st)
+	}
+
+	// Masters on the path update their exact size; the lazy snapshot
+	// syncs only when the layer window is exceeded (step 3e).
+	t.applyDelta(n, int64(len(kps)), st.syncBytes)
+	bit := t.splitBit(n)
+	split := splitAtBit(kps, bit)
+	if split > 0 {
+		n.Left = t.insertRec(n.Left, kps[:split], st)
+	}
+	if split < len(kps) {
+		n.Right = t.insertRec(n.Right, kps[split:], st)
+	}
+	return n
+}
+
+// insertIntoLeaf merges sorted kps into leaf n (Alg. 2 steps 2a/2b),
+// splitting overflowing leaves.
+func (t *Tree) insertIntoLeaf(n *Node, kps []keyed, st *updateStats) *Node {
+	mod := nonNeg(t.moduleOf(n))
+	st.leafIn[mod] += int64(len(kps)) * pointBytes
+	st.leafWork[mod] += int64(len(n.Keys)+len(kps)) * 2
+
+	merged := make([]keyed, 0, len(n.Keys)+len(kps))
+	i, j := 0, 0
+	for i < len(n.Keys) && j < len(kps) {
+		if n.Keys[i] <= kps[j].key {
+			merged = append(merged, keyed{key: n.Keys[i], pt: n.Pts[i]})
+			i++
+		} else {
+			merged = append(merged, kps[j])
+			j++
+		}
+	}
+	for ; i < len(n.Keys); i++ {
+		merged = append(merged, keyed{key: n.Keys[i], pt: n.Pts[i]})
+	}
+	merged = append(merged, kps[j:]...)
+
+	replacement := t.buildLogical(merged)
+	t.markNew(replacement)
+	if !replacement.IsLeaf() {
+		// Leaf split: new internal structure (Alg. 2 step 2b/2c).
+		st.newNodes += int64(len(kps)) + 2
+		st.linkBytes[mod] += linkMsgBytes
+	}
+	return replacement
+}
+
+// cplWithNode caps the common prefix length of key with n at n's prefix.
+func (t *Tree) cplWithNode(key uint64, n *Node) uint {
+	l := morton.CommonPrefixLen(key, n.Key, int(t.cfg.Dims))
+	if l > uint(n.PrefixLen) {
+		return uint(n.PrefixLen)
+	}
+	return l
+}
+
+// narrowToPrefix returns the sub-batch of sorted kps whose keys share n's
+// z-order prefix (a contiguous range, located by binary search).
+func (t *Tree) narrowToPrefix(kps []keyed, n *Node) []keyed {
+	if n.PrefixLen == 0 {
+		return kps
+	}
+	shift := t.keyBits() - uint(n.PrefixLen)
+	base := n.Key >> shift << shift
+	top := base | (uint64(1)<<shift - 1)
+	lo, hi := 0, len(kps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if kps[mid].key < base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start := lo
+	lo, hi = start, len(kps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if kps[mid].key <= top {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return kps[start:lo]
+}
+
+func nonNeg(m int) int {
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// chargeUpdateRounds prices Alg. 2 steps 2-3: one round of leaf
+// modification, two rounds of link fixing, and the counter propagation.
+func (t *Tree) chargeUpdateRounds(st *updateStats) {
+	// Step 2 + 3a: deliver points, edit leaves.
+	t.roundOverModuleBytes(st.leafIn, st.leafWork, resultMsgBytes)
+	// Step 3b: link fixing in two rounds (reserve, then connect).
+	half := make(map[int]int64, len(st.linkBytes))
+	for m, b := range st.linkBytes {
+		half[m] = (b + 1) / 2
+	}
+	t.roundOverModuleBytes(half, nil, 0)
+	t.roundOverModuleBytes(half, nil, 0)
+	// Step 3e: propagate the lazy-counter snapshots that fired.
+	if len(st.syncBytes) > 0 {
+		t.roundOverModuleBytes(st.syncBytes, nil, 0)
+	}
+	// CPU-side batch preprocessing (dedup, grouping, trace bookkeeping).
+	t.sys.CPUPhase(st.ops*8, st.ops*pointBytes, 0)
+}
+
+// roundOverModuleBytes runs one BSP round delivering recvBytes to each
+// module, charging the optional per-module work and a per-module reply.
+func (t *Tree) roundOverModuleBytes(recvBytes, work map[int]int64, replyBytes int64) {
+	if len(recvBytes) == 0 && len(work) == 0 {
+		return
+	}
+	activeSet := make(map[int]bool)
+	for m := range recvBytes {
+		activeSet[m] = true
+	}
+	for m := range work {
+		activeSet[m] = true
+	}
+	active := make([]int, 0, len(activeSet))
+	for m := range activeSet {
+		active = append(active, m)
+	}
+	t.sys.Round(active, func(m *pim.Module) {
+		if b := recvBytes[m.ID]; b > 0 {
+			m.Recv(b)
+			m.Work(b / 8)
+		}
+		if w := work[m.ID]; w > 0 {
+			m.Work(w)
+		}
+		if replyBytes > 0 {
+			m.Send(replyBytes)
+		}
+	})
+}
+
+// Delete removes one instance of each given point (absent points are
+// ignored). The protocol mirrors Insert: search, local leaf edits, link
+// fixes for recompressed paths, lazy-counter propagation, demotion rounds.
+func (t *Tree) Delete(points []geom.Point) {
+	if len(points) == 0 || t.root == nil {
+		return
+	}
+	kps := t.makeKeyed(points)
+	parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+	t.chargeHostSort(len(kps))
+	keys := make([]uint64, len(kps))
+	for i, kp := range kps {
+		keys[i] = kp.key
+	}
+	t.searchKeys(keys, searchOpts{})
+
+	st := newUpdateStats()
+	st.ops = int64(len(kps))
+	t.root = t.deleteRec(t.root, kps, st)
+	t.chargeUpdateRounds(st)
+	t.relayout()
+}
+
+// deleteRec removes matching points below n, recompressing single-child
+// paths, and returns the new subtree (nil when emptied). It returns the
+// number of points actually removed via removed.
+func (t *Tree) deleteRec(n *Node, kps []keyed, st *updateStats) *Node {
+	nn, _ := t.deleteRecCount(n, kps, st)
+	return nn
+}
+
+func (t *Tree) deleteRecCount(n *Node, kps []keyed, st *updateStats) (*Node, int64) {
+	if n == nil || len(kps) == 0 {
+		return n, 0
+	}
+	// Keys outside n's prefix cannot be stored below n. They must be
+	// dropped BEFORE the bit partition: the partition's binary search
+	// assumes the split bit is monotone over the sorted batch, which only
+	// holds for keys sharing the node's prefix. (Found by FuzzBatchOps:
+	// a diverging phantom key misroutes its sorted neighbors.)
+	kps = t.narrowToPrefix(kps, n)
+	if len(kps) == 0 {
+		return n, 0
+	}
+	if n.IsLeaf() {
+		return t.deleteFromLeaf(n, kps, st)
+	}
+	bit := t.splitBit(n)
+	split := splitAtBit(kps, bit)
+	var removedL, removedR int64
+	if split > 0 {
+		n.Left, removedL = t.deleteRecCount(n.Left, kps[:split], st)
+	}
+	if split < len(kps) {
+		n.Right, removedR = t.deleteRecCount(n.Right, kps[split:], st)
+	}
+	removed := removedL + removedR
+	if n.Left == nil || n.Right == nil {
+		// Path recompression: the survivor replaces n (link fix).
+		survivor := n.Left
+		if survivor == nil {
+			survivor = n.Right
+		}
+		if survivor != nil {
+			survivor.dirty = true
+			st.linkBytes[nonNeg(t.moduleOf(survivor))] += linkMsgBytes
+		}
+		return survivor, removed
+	}
+	if removed > 0 {
+		t.applyDelta(n, -removed, st.syncBytes)
+	}
+	return n, removed
+}
+
+func (t *Tree) deleteFromLeaf(n *Node, kps []keyed, st *updateStats) (*Node, int64) {
+	mod := nonNeg(t.moduleOf(n))
+	st.leafWork[mod] += int64(len(n.Keys)) * 2
+	used := make([]bool, len(kps))
+	keepKeys := n.Keys[:0]
+	keepPts := n.Pts[:0]
+	var removed int64
+	for i := range n.Keys {
+		hit := false
+		for j := range kps {
+			if !used[j] && kps[j].key == n.Keys[i] && kps[j].pt.Equal(n.Pts[i]) {
+				used[j] = true
+				hit = true
+				break
+			}
+		}
+		if hit {
+			removed++
+		} else {
+			keepKeys = append(keepKeys, n.Keys[i])
+			keepPts = append(keepPts, n.Pts[i])
+		}
+	}
+	if removed == 0 {
+		return n, 0
+	}
+	n.dirty = true
+	if len(keepKeys) == 0 {
+		return nil, removed
+	}
+	n.Keys = keepKeys
+	n.Pts = keepPts
+	n.Size = int64(len(keepKeys))
+	n.SC = n.Size
+	n.Delta = 0
+	if len(keepKeys) == 1 {
+		n.PrefixLen = uint8(t.keyBits())
+	} else {
+		n.PrefixLen = uint8(morton.CommonPrefixLen(keepKeys[0], keepKeys[len(keepKeys)-1], int(t.cfg.Dims)))
+	}
+	n.Key = keepKeys[0]
+	n.Box = morton.PrefixBox(n.Key, uint(n.PrefixLen), t.cfg.Dims)
+	return n, removed
+}
+
+// CheckInvariants validates the logical tree structure and layer/chunk
+// assignment. Used by tests.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	var check func(n *Node, parentLayer Layer) (int64, error)
+	check = func(n *Node, parentLayer Layer) (int64, error) {
+		if n.Layer < parentLayer {
+			return 0, errf("layer inversion: %v under %v", n.Layer, parentLayer)
+		}
+		if n.Layer != L0 && n.Chunk == nil {
+			return 0, errf("non-L0 node without chunk")
+		}
+		if n.Layer == L0 && n.Chunk != nil {
+			return 0, errf("L0 node with chunk")
+		}
+		if n.SC != n.Size-n.Delta {
+			return 0, errf("counter identity broken: SC=%d Size=%d Delta=%d", n.SC, n.Size, n.Delta)
+		}
+		if n.IsLeaf() {
+			if len(n.Keys) == 0 {
+				return 0, errf("empty leaf")
+			}
+			if int64(len(n.Keys)) != n.Size {
+				return 0, errf("leaf size %d != %d", n.Size, len(n.Keys))
+			}
+			for i, k := range n.Keys {
+				if morton.EncodePoint(n.Pts[i]) != k {
+					return 0, errf("leaf key/point mismatch")
+				}
+				if i > 0 && k < n.Keys[i-1] {
+					return 0, errf("leaf keys unsorted")
+				}
+				if !t.sharesPrefix(k, n) {
+					return 0, errf("leaf key outside prefix")
+				}
+			}
+			if len(n.Keys) > t.cfg.LeafCap && n.Keys[0] != n.Keys[len(n.Keys)-1] {
+				return 0, errf("over-full leaf with distinct keys")
+			}
+			return n.Size, nil
+		}
+		if n.Left == nil || n.Right == nil {
+			return 0, errf("uncompressed single-child node")
+		}
+		bit := t.splitBit(n)
+		for side, c := range []*Node{n.Left, n.Right} {
+			if c.PrefixLen <= n.PrefixLen {
+				return 0, errf("child prefix not longer")
+			}
+			if !t.sharesPrefix(c.Key, n) {
+				return 0, errf("child outside parent prefix")
+			}
+			if morton.BitAt(c.Key, bit) != uint64(side) {
+				return 0, errf("child on wrong side")
+			}
+		}
+		ls, err := check(n.Left, n.Layer)
+		if err != nil {
+			return 0, err
+		}
+		rs, err := check(n.Right, n.Layer)
+		if err != nil {
+			return 0, err
+		}
+		if n.Size != ls+rs {
+			return 0, errf("size %d != %d+%d", n.Size, ls, rs)
+		}
+		return n.Size, nil
+	}
+	_, err := check(t.root, L0)
+	return err
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf(format, args...)
+}
+
+// Rebuild reconstructs the index from scratch over its current contents:
+// the whole point set is hauled up to the host, re-sorted, re-built and
+// re-distributed. This is the maintenance style of the reconstruction-based
+// prior design the paper's §2.2 argues against ("its additional round
+// complexity incurs substantial latency"); it exists here so the bench
+// harness can measure that argument (the `recon` experiment). Batch-dynamic
+// updates (Insert/Delete) never need it.
+func (t *Tree) Rebuild() {
+	if t.root == nil {
+		return
+	}
+	pts := t.Points()
+	// Haul every point up through the channels.
+	total, _ := t.sys.StoredBytesTotal()
+	modules := make([]int, 0, len(t.chunks))
+	seen := make(map[int]bool)
+	for _, c := range t.chunks {
+		if !seen[c.Module] {
+			seen[c.Module] = true
+			modules = append(modules, c.Module)
+		}
+	}
+	t.sys.Round(modules, func(m *pim.Module) {
+		m.Send(m.StoredBytes())
+	})
+	t.sys.CPUPhase(int64(len(pts))*30, total, 0)
+
+	// Re-sort and re-build on the host.
+	kps := t.makeKeyed(pts)
+	parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+	t.chargeHostSort(len(kps))
+	t.root = t.buildLogical(kps)
+	t.markNew(t.root)
+
+	// Re-distribute: all chunks are new, so the layout pass ships
+	// everything back out.
+	t.chunks = make(map[uint64]*Chunk)
+	t.bootstrapped = false
+	t.relayout()
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"pimzdtree/internal/pim"
+)
+
+// waveScanFunc traverses one in-flight query within its chunk, appending
+// chunk exits to *exits and returning the compute work and the bytes the
+// traversal sends back to the CPU. cpuSide is true when the chunk was
+// pulled and the traversal runs on the host (implementations typically
+// rebate the PIM multiply premium there). Implementations must be safe
+// for concurrent invocation on different chunk groups; any shared result
+// accumulation is their responsibility (per-query slots or locks).
+type waveScanFunc func(c *Chunk, e entry, cpuSide bool, exits *[]entry) (work, outBytes int64)
+
+// runPushPullWaves drives the generic push-pull BSP loop shared by kNN and
+// box traversals (§3.3 applied level by level, as in Alg. 1 step 4): each
+// wave groups the frontier by meta-node, pulls chunks holding more than
+// K = B queries (the paper's L2 threshold) to the CPU, pushes the rest to
+// their modules in a single round, and advances every query one meta-level.
+// afterWave (optional) runs between waves on the collected exits — kNN uses
+// it to tighten bounds and prune — and returns the next frontier.
+func (t *Tree) runPushPullWaves(frontier []entry, msgBytes int64, scan waveScanFunc, afterWave func([]entry) []entry) {
+	for len(frontier) > 0 {
+		groups := t.groupByChunk(frontier)
+		var pulled, pushed []chunkGroup
+		for _, g := range groups {
+			if int64(len(g.entries)) > t.chunkB {
+				pulled = append(pulled, g)
+			} else {
+				pushed = append(pushed, g)
+			}
+		}
+		perModule := make(map[int][]chunkGroup)
+		for _, g := range pushed {
+			perModule[g.chunk.Module] = append(perModule[g.chunk.Module], g)
+		}
+		pullModules := make(map[int][]chunkGroup)
+		for _, g := range pulled {
+			pullModules[g.chunk.Module] = append(pullModules[g.chunk.Module], g)
+		}
+		activeSet := make(map[int]bool)
+		for m := range perModule {
+			activeSet[m] = true
+		}
+		for m := range pullModules {
+			activeSet[m] = true
+		}
+		active := make([]int, 0, len(activeSet))
+		for m := range activeSet {
+			active = append(active, m)
+		}
+		exitSlots := make([][]entry, len(active)+1)
+		idxOf := make(map[int]int, len(active))
+		for i, m := range active {
+			idxOf[m] = i
+		}
+
+		// One BSP round: pulled chunks ship their masters up; pushed
+		// queries execute on their modules.
+		t.sys.Round(active, func(m *pim.Module) {
+			var exits []entry
+			for _, g := range pullModules[m.ID] {
+				m.Send(g.chunk.StructBytes)
+			}
+			for _, g := range perModule[m.ID] {
+				m.Recv(int64(len(g.entries)) * msgBytes)
+				for _, e := range g.entries {
+					work, outBytes := scan(g.chunk, e, false, &exits)
+					m.Work(work)
+					m.Send(outBytes)
+				}
+			}
+			exitSlots[idxOf[m.ID]] = exits
+		})
+
+		// Pulled chunks run on the CPU against master data: the structure
+		// crossed the channel above; the payload bytes each traversal
+		// actually reads cross (and hit host DRAM) per visit.
+		var pullWork, pullBytes int64
+		var cpuExits []entry
+		for _, g := range pulled {
+			t.pulls++
+			pullBytes += g.chunk.StructBytes
+			for _, e := range g.entries {
+				w, b := scan(g.chunk, e, true, &cpuExits)
+				pullWork += w
+				pullBytes += b
+			}
+		}
+		if len(pulled) > 0 {
+			t.sys.CPUPhase(pullWork, pullBytes, 0)
+		}
+		exitSlots[len(active)] = cpuExits
+
+		next := make([]entry, 0)
+		for _, ex := range exitSlots {
+			next = append(next, ex...)
+		}
+		if afterWave != nil {
+			next = afterWave(next)
+		}
+		frontier = next
+	}
+}

@@ -1,0 +1,43 @@
+package costmodel
+
+// Energy model. The paper reports memory traffic as "a primary contributor
+// to power consumption in index-based applications" (§7.1, citing the
+// UPMEM characterization studies [37, 48, 66]); this file turns the counted
+// traffic and work into first-order energy estimates so the harness can
+// report per-operation energy alongside throughput. Constants are
+// order-of-magnitude figures from the cited literature.
+const (
+	// EnergyDRAMPerByte is the energy of moving one byte over a DDR4
+	// channel including DRAM array access (~12-20 pJ/bit).
+	EnergyDRAMPerByte = 150e-12 // J
+	// EnergyChannelPerByte is the CPU<->PIM transfer energy per byte
+	// (same physical channel as DRAM).
+	EnergyChannelPerByte = 150e-12 // J
+	// EnergyPIMLocalPerByte is a PIM core's bank-local access energy per
+	// byte — the on-chip proximity that motivates PIM (~5-10x cheaper
+	// than crossing the channel).
+	EnergyPIMLocalPerByte = 20e-12 // J
+	// EnergyCPUOp is the energy of one abstract host work unit on a
+	// server core (~50-100 pJ/op including pipeline overheads).
+	EnergyCPUOp = 80e-12 // J
+	// EnergyPIMOp is the energy of one PIM-core cycle (small in-order
+	// core, ~10-20 pJ/op).
+	EnergyPIMOp = 15e-12 // J
+)
+
+// BaselineEnergy estimates the energy of a CPU baseline phase from its
+// abstract work and DRAM traffic.
+func BaselineEnergy(work, dramBytes int64) float64 {
+	return float64(work)*EnergyCPUOp + float64(dramBytes)*EnergyDRAMPerByte
+}
+
+// PIMEnergy estimates the energy of a PIM execution from host work, host
+// DRAM traffic, channel traffic, total PIM cycles, and PIM-local bytes
+// touched (approximated by cycles when not tracked separately).
+func PIMEnergy(cpuWork, cpuDRAMBytes, channelBytes, pimCycles, pimLocalBytes int64) float64 {
+	return float64(cpuWork)*EnergyCPUOp +
+		float64(cpuDRAMBytes)*EnergyDRAMPerByte +
+		float64(channelBytes)*EnergyChannelPerByte +
+		float64(pimCycles)*EnergyPIMOp +
+		float64(pimLocalBytes)*EnergyPIMLocalPerByte
+}

@@ -1,0 +1,69 @@
+package morton
+
+import (
+	"math/bits"
+
+	"pimzdtree/internal/geom"
+)
+
+// HighestDiffBit returns the index (0-based from the least significant end)
+// of the most significant bit in which a and b differ. It panics if a == b.
+// In a zd-tree, two keys sharing a node diverge exactly at the node's split
+// bit, so this determines where a compressed path must be cut.
+func HighestDiffBit(a, b uint64) uint {
+	if a == b {
+		panic("morton: HighestDiffBit of equal keys")
+	}
+	return uint(63 - bits.LeadingZeros64(a^b))
+}
+
+// CommonPrefixLen returns the number of leading key bits (counting from the
+// top significant bit for the given dimensionality) shared by a and b.
+func CommonPrefixLen(a, b uint64, dims int) uint {
+	total := KeyBits(dims)
+	if a == b {
+		return total
+	}
+	diff := HighestDiffBit(a, b)
+	if diff >= total {
+		// Differ above the significant range; callers should have masked.
+		return 0
+	}
+	return total - 1 - diff
+}
+
+// PrefixBox returns the axis-aligned bounding box of all points whose keys
+// share the top prefixLen bits of key, for the given dimensionality. A
+// z-order prefix always denotes a box: the fixed bits pin the upper bits of
+// each coordinate and the free bits range over everything below.
+func PrefixBox(key uint64, prefixLen uint, dims uint8) geom.Box {
+	total := KeyBits(int(dims))
+	if prefixLen > total {
+		prefixLen = total
+	}
+	// Zero out the free (low) bits for the lo corner, set them for hi.
+	free := total - prefixLen
+	var loKey, hiKey uint64
+	if free == 64 {
+		loKey, hiKey = 0, ^uint64(0)
+	} else {
+		mask := (uint64(1) << free) - 1
+		loKey = key &^ mask
+		hiKey = key | mask
+	}
+	lo := DecodePoint(loKey, dims)
+	hi := DecodePoint(hiKey, dims)
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+// BitAt returns bit i (0 = least significant) of key as 0 or 1.
+func BitAt(key uint64, i uint) uint64 {
+	return key >> i & 1
+}
+
+// SplitLevelBit returns the key bit index tested at tree level lvl
+// (lvl 0 = root) for the given dimensionality: the root tests the top
+// significant bit and levels descend toward bit 0.
+func SplitLevelBit(lvl uint, dims int) uint {
+	return KeyBits(dims) - 1 - lvl
+}

@@ -1,0 +1,213 @@
+// Package parallel provides the shared-memory parallel primitives the
+// CPU-side phases of all three indexes are built on: parallel for,
+// map/reduce, prefix sums, an LSD radix sort for Morton keys, and a
+// semisort (group by key, used by the push-pull batching).
+//
+// The primitives follow the binary-forking style of the paper's CPU cost
+// analysis: work is split recursively into goroutines down to a grain
+// size, giving O(n) work and polylog span for the loops and sorts.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// grain is the sequential cutoff for recursive splitting. Small enough to
+// expose parallelism on many-core hosts, large enough to amortize goroutine
+// overhead.
+const grain = 2048
+
+// maxProcs returns the parallelism to use.
+func maxProcs() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs body(i) for every i in [0, n) in parallel.
+func For(n int, body func(i int)) {
+	ForRange(0, n, body)
+}
+
+// ForRange runs body(i) for every i in [lo, hi) in parallel using recursive
+// binary splitting.
+func ForRange(lo, hi int, body func(i int)) {
+	if hi-lo <= 0 {
+		return
+	}
+	if hi-lo <= grain || maxProcs() == 1 {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		for hi-lo > grain {
+			mid := lo + (hi-lo)/2
+			wg.Add(1)
+			go func(l, h int) {
+				defer wg.Done()
+				rec(l, h)
+			}(mid, hi)
+			hi = mid
+		}
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+	rec(lo, hi)
+	wg.Wait()
+}
+
+// Blocks partitions [0, n) into roughly equal chunks, one per worker, and
+// runs body(worker, lo, hi) for each. Use when per-element closures are too
+// fine-grained.
+func Blocks(n int, body func(worker, lo, hi int)) {
+	p := maxProcs()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo := w * n / p
+		hi := (w + 1) * n / p
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given thunks in parallel and waits for all of them; the
+// two-argument case is the binary fork of the fork-join model.
+func Do(thunks ...func()) {
+	switch len(thunks) {
+	case 0:
+		return
+	case 1:
+		thunks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(thunks) - 1)
+	for _, t := range thunks[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(t)
+	}
+	thunks[0]()
+	wg.Wait()
+}
+
+// Map applies f to every element of in, in parallel, returning the results.
+func Map[T, U any](in []T, f func(T) U) []U {
+	out := make([]U, len(in))
+	For(len(in), func(i int) { out[i] = f(in[i]) })
+	return out
+}
+
+// MapIndex applies f to every index/element pair.
+func MapIndex[T, U any](in []T, f func(i int, v T) U) []U {
+	out := make([]U, len(in))
+	For(len(in), func(i int) { out[i] = f(i, in[i]) })
+	return out
+}
+
+// Reduce combines the elements of in with the associative operation op,
+// starting from identity. op must be associative; the reduction tree is
+// unspecified.
+func Reduce[T any](in []T, identity T, op func(a, b T) T) T {
+	if len(in) == 0 {
+		return identity
+	}
+	if len(in) <= grain {
+		acc := identity
+		for _, v := range in {
+			acc = op(acc, v)
+		}
+		return acc
+	}
+	p := maxProcs()
+	if p > len(in)/grain+1 {
+		p = len(in)/grain + 1
+	}
+	partial := make([]T, p)
+	Blocks(len(in), func(w, lo, hi int) {
+		acc := identity
+		for _, v := range in[lo:hi] {
+			acc = op(acc, v)
+		}
+		// Blocks may use fewer workers than p when n is small; indexes
+		// are still unique per call.
+		partial[w] = acc
+	})
+	acc := identity
+	for _, v := range partial {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// Sum adds up a slice of integers in parallel.
+func Sum(in []int64) int64 {
+	return Reduce(in, 0, func(a, b int64) int64 { return a + b })
+}
+
+// MaxInt64 returns the maximum of in, or identity for an empty slice.
+func MaxInt64(in []int64, identity int64) int64 {
+	return Reduce(in, identity, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// ExclusiveScan computes the exclusive prefix sum of in, returning the
+// offsets slice (same length) and the total.
+func ExclusiveScan(in []int) (offsets []int, total int) {
+	offsets = make([]int, len(in))
+	run := 0
+	for i, v := range in {
+		offsets[i] = run
+		run += v
+	}
+	return offsets, run
+}
+
+// Filter returns the elements of in satisfying keep, preserving order.
+func Filter[T any](in []T, keep func(T) bool) []T {
+	if len(in) <= grain {
+		var out []T
+		for _, v := range in {
+			if keep(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	p := maxProcs()
+	parts := make([][]T, p)
+	Blocks(len(in), func(w, lo, hi int) {
+		var part []T
+		for _, v := range in[lo:hi] {
+			if keep(v) {
+				part = append(part, v)
+			}
+		}
+		parts[w] = part
+	})
+	var out []T
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"sort"
+)
+
+// SortKeys sorts a slice of uint64 Morton keys in parallel using an LSD
+// radix sort over 11-bit digits with a merge-free counting pass per digit.
+// The paper's CPU phases use parallel radix sort [Dong et al., PPoPP'24];
+// this is the practical equivalent for 64-bit keys.
+func SortKeys(keys []uint64) {
+	if len(keys) < 4096 {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		return
+	}
+	radixSortFunc(keys, func(k uint64) uint64 { return k })
+}
+
+// SortBy sorts items in parallel by the uint64 key extracted by keyOf.
+// The sort is stable with respect to equal keys.
+func SortBy[T any](items []T, keyOf func(T) uint64) {
+	if len(items) < 4096 {
+		sort.SliceStable(items, func(i, j int) bool { return keyOf(items[i]) < keyOf(items[j]) })
+		return
+	}
+	radixSortFunc(items, keyOf)
+}
+
+const radixBits = 11
+const radixBuckets = 1 << radixBits
+const radixMask = radixBuckets - 1
+
+// radixSortFunc is a stable LSD radix sort over 64-bit keys. Passes over
+// digits that are constant across the input are skipped, so sorting keys
+// with few significant bits is proportionally cheaper.
+func radixSortFunc[T any](items []T, keyOf func(T) uint64) {
+	n := len(items)
+	buf := make([]T, n)
+	src, dst := items, buf
+	swapped := false
+
+	// Determine which digit positions vary.
+	var orAll, andAll uint64 = 0, ^uint64(0)
+	for _, v := range src {
+		k := keyOf(v)
+		orAll |= k
+		andAll &= k
+	}
+	varying := orAll &^ andAll
+
+	for shift := uint(0); shift < 64; shift += radixBits {
+		if varying>>shift&radixMask == 0 {
+			continue
+		}
+		var counts [radixBuckets]int
+		for _, v := range src {
+			counts[keyOf(v)>>shift&radixMask]++
+		}
+		run := 0
+		for b := 0; b < radixBuckets; b++ {
+			c := counts[b]
+			counts[b] = run
+			run += c
+		}
+		for _, v := range src {
+			b := keyOf(v) >> shift & radixMask
+			dst[counts[b]] = v
+			counts[b]++
+		}
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(items, src)
+	}
+}
+
+// Group is a contiguous run of equal keys produced by Semisort.
+type Group struct {
+	Key    uint64
+	Lo, Hi int // half-open index range into the semisorted slice
+}
+
+// Semisort reorders items so that equal keys are contiguous (the relative
+// order of distinct key groups is by key value, which is stronger than a
+// semisort requires but costs the same here), and returns one Group per
+// distinct key. The push-pull batching of the paper's SEARCH uses exactly
+// this operation to gather the queries destined for each meta-node.
+func Semisort[T any](items []T, keyOf func(T) uint64) []Group {
+	SortBy(items, keyOf)
+	var groups []Group
+	for i := 0; i < len(items); {
+		j := i + 1
+		k := keyOf(items[i])
+		for j < len(items) && keyOf(items[j]) == k {
+			j++
+		}
+		groups = append(groups, Group{Key: k, Lo: i, Hi: j})
+		i = j
+	}
+	return groups
+}
+
+// CountingSortWork returns the abstract CPU work units charged for
+// semisorting n items (linear, per the work-efficient semisort the paper
+// cites).
+func CountingSortWork(n int) int64 { return int64(n) }
+
+// SortWork returns the abstract CPU work units charged for a full sort of
+// n items (n log n with a modest constant).
+func SortWork(n int) int64 {
+	if n <= 1 {
+		return int64(n)
+	}
+	lg := 0
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return int64(n) * int64(lg) / 4
+}

@@ -1,0 +1,99 @@
+package pim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceEntry records one executed BSP round for offline inspection.
+type TraceEntry struct {
+	Seq           int64
+	ActiveModules int
+	MaxCycles     int64
+	TotalCycles   int64
+	BytesToPIM    int64
+	BytesFromPIM  int64
+	Seconds       float64
+}
+
+// Utilization returns the fraction of aggregate PIM compute the round
+// actually used (total cycles over active modules x the slowest module).
+func (e TraceEntry) Utilization() float64 {
+	if e.MaxCycles == 0 || e.ActiveModules == 0 {
+		return 0
+	}
+	return float64(e.TotalCycles) / (float64(e.MaxCycles) * float64(e.ActiveModules))
+}
+
+// tracer captures round history when enabled.
+type tracer struct {
+	mu      sync.Mutex
+	enabled bool
+	seq     int64
+	entries []TraceEntry
+	limit   int
+}
+
+// EnableTrace starts recording one TraceEntry per round, keeping at most
+// limit entries (0 = unlimited). Tracing adds a small constant overhead
+// per round and is off by default.
+func (s *System) EnableTrace(limit int) {
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	s.trace.enabled = true
+	s.trace.limit = limit
+	s.trace.entries = nil
+	s.trace.seq = 0
+}
+
+// DisableTrace stops recording (recorded entries are retained).
+func (s *System) DisableTrace() {
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	s.trace.enabled = false
+}
+
+// Trace returns a copy of the recorded rounds.
+func (s *System) Trace() []TraceEntry {
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	return append([]TraceEntry(nil), s.trace.entries...)
+}
+
+// recordTrace appends a round to the trace if enabled.
+func (s *System) recordTrace(st RoundStats) {
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	if !s.trace.enabled {
+		return
+	}
+	s.trace.seq++
+	e := TraceEntry{
+		Seq:           s.trace.seq,
+		ActiveModules: st.ActiveModules,
+		MaxCycles:     st.MaxCycles,
+		TotalCycles:   st.TotalCycles,
+		BytesToPIM:    st.BytesToPIM,
+		BytesFromPIM:  st.BytesFromPIM,
+		Seconds:       st.Seconds,
+	}
+	if s.trace.limit > 0 && len(s.trace.entries) >= s.trace.limit {
+		copy(s.trace.entries, s.trace.entries[1:])
+		s.trace.entries[len(s.trace.entries)-1] = e
+		return
+	}
+	s.trace.entries = append(s.trace.entries, e)
+}
+
+// WriteTrace renders the recorded rounds as a table.
+func (s *System) WriteTrace(w io.Writer) {
+	entries := s.Trace()
+	fmt.Fprintf(w, "%5s  %7s  %10s  %12s  %10s  %10s  %9s  %5s\n",
+		"round", "modules", "max cyc", "total cyc", "to PIM B", "from PIM B", "time us", "util")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%5d  %7d  %10d  %12d  %10d  %10d  %9.2f  %4.0f%%\n",
+			e.Seq, e.ActiveModules, e.MaxCycles, e.TotalCycles,
+			e.BytesToPIM, e.BytesFromPIM, e.Seconds*1e6, e.Utilization()*100)
+	}
+}

@@ -1,0 +1,8 @@
+package zdtree
+
+import "pimzdtree/internal/memsim"
+
+// memsimCache returns a small LLC for instrumentation tests.
+func memsimCache() *memsim.Cache {
+	return memsim.NewCache(1<<22, 16) // 4 MB
+}

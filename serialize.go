@@ -1,0 +1,99 @@
+package pimzdtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pimzdtree/internal/geom"
+)
+
+// Serialization format: a fixed header followed by packed coordinates.
+// Because the zd-tree is history-independent — its structure is a pure
+// function of the stored point set — persisting the points alone suffices:
+// rebuilding on load reproduces the identical index structure.
+const (
+	serializeMagic   = "PIMZD1\n"
+	serializeVersion = 1
+)
+
+// WriteTo serializes the index's point set. The returned count is the
+// number of bytes written.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	count := func(n int, err error) error {
+		written += int64(n)
+		return err
+	}
+	if err := count(bw.WriteString(serializeMagic)); err != nil {
+		return written, err
+	}
+	pts := x.Points()
+	hdr := make([]byte, 10)
+	hdr[0] = serializeVersion
+	hdr[1] = x.tree.Dims()
+	binary.LittleEndian.PutUint64(hdr[2:], uint64(len(pts)))
+	if err := count(bw.Write(hdr)); err != nil {
+		return written, err
+	}
+	buf := make([]byte, 4)
+	for _, p := range pts {
+		for d := uint8(0); d < p.Dims; d++ {
+			binary.LittleEndian.PutUint32(buf, p.Coords[d])
+			if err := count(bw.Write(buf)); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadIndex deserializes an index written by WriteTo, rebuilding it with
+// the given options (Dims is taken from the stream and must be left zero
+// or match). History independence guarantees the rebuilt structure equals
+// the saved one.
+func ReadIndex(r io.Reader, opts Options) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(serializeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("pimzdtree: reading magic: %w", err)
+	}
+	if string(magic) != serializeMagic {
+		return nil, fmt.Errorf("pimzdtree: bad magic %q", magic)
+	}
+	hdr := make([]byte, 10)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("pimzdtree: reading header: %w", err)
+	}
+	if hdr[0] != serializeVersion {
+		return nil, fmt.Errorf("pimzdtree: unsupported version %d", hdr[0])
+	}
+	dims := hdr[1]
+	if dims < 2 || dims > geom.MaxDims {
+		return nil, fmt.Errorf("pimzdtree: invalid dimensionality %d", dims)
+	}
+	if opts.Dims != 0 && opts.Dims != dims {
+		return nil, fmt.Errorf("pimzdtree: options dims %d != stream dims %d", opts.Dims, dims)
+	}
+	opts.Dims = dims
+	n := binary.LittleEndian.Uint64(hdr[2:])
+	const maxPoints = 1 << 33
+	if n > maxPoints {
+		return nil, fmt.Errorf("pimzdtree: implausible point count %d", n)
+	}
+	pts := make([]Point, n)
+	buf := make([]byte, 4)
+	for i := range pts {
+		p := Point{Dims: dims}
+		for d := uint8(0); d < dims; d++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("pimzdtree: reading point %d: %w", i, err)
+			}
+			p.Coords[d] = binary.LittleEndian.Uint32(buf)
+		}
+		pts[i] = p
+	}
+	return New(opts, pts...), nil
+}

@@ -1,0 +1,101 @@
+package pimzdtree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randPts(rng, 3000)
+	idx := New(Options{Dims: 3, Machine: smallMachine()}, pts...)
+
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	loaded, err := ReadIndex(&buf, Options{Machine: smallMachine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != idx.Size() {
+		t.Fatalf("sizes: %d vs %d", loaded.Size(), idx.Size())
+	}
+	// History independence: the rebuilt structure stores identical points
+	// in identical (z-)order.
+	a, b := idx.Points(), loaded.Points()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("point %d differs after round trip", i)
+		}
+	}
+	// Queries agree.
+	q := randPts(rng, 10)
+	ra, rb := idx.KNN(q, 5), loaded.KNN(q, 5)
+	for i := range q {
+		for j := range ra[i] {
+			if ra[i][j].Dist != rb[i][j].Dist {
+				t.Fatalf("kNN diverged after round trip at q=%d", i)
+			}
+		}
+	}
+}
+
+func TestSerializeEmptyIndex(t *testing.T) {
+	idx := New(Options{Dims: 2, Machine: smallMachine()})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != 0 {
+		t.Fatal("empty index round trip")
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(strings.NewReader("not an index"), Options{}); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadIndex(strings.NewReader(""), Options{}); err == nil {
+		t.Fatal("expected EOF error")
+	}
+	// Truncated stream after header.
+	idx := New(Options{Dims: 3, Machine: smallMachine()}, P3(1, 2, 3))
+	var buf bytes.Buffer
+	idx.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadIndex(bytes.NewReader(trunc), Options{}); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestReadIndexDimsMismatch(t *testing.T) {
+	idx := New(Options{Dims: 3, Machine: smallMachine()}, P3(1, 2, 3))
+	var buf bytes.Buffer
+	idx.WriteTo(&buf)
+	if _, err := ReadIndex(&buf, Options{Dims: 2}); err == nil {
+		t.Fatal("expected dims mismatch error")
+	}
+}
+
+func TestReadIndexBadVersion(t *testing.T) {
+	idx := New(Options{Dims: 2, Machine: smallMachine()}, P2(1, 2))
+	var buf bytes.Buffer
+	idx.WriteTo(&buf)
+	data := buf.Bytes()
+	data[len(serializeMagic)] = 99 // corrupt version byte
+	if _, err := ReadIndex(bytes.NewReader(data), Options{}); err == nil {
+		t.Fatal("expected version error")
+	}
+}
