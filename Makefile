@@ -1,0 +1,28 @@
+# Standard entry points for the PIM-zd-tree reproduction.
+#
+# `make ci` is the gate: build, vet, then the full test suite under the
+# race detector with GOMAXPROCS=4 so the parallel sort/semisort/scan paths
+# actually run multi-worker (a 1-core CI would otherwise never exercise
+# them).
+
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	GOMAXPROCS=4 $(GO) test -race ./...
+
+# Micro-benchmarks of the parallel substrate (sort, semisort, scan).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSortKeys$$|BenchmarkSortBy|BenchmarkSemisort|BenchmarkExclusiveScan$$' -benchmem ./internal/parallel/

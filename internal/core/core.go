@@ -227,6 +227,20 @@ type Tree struct {
 	movedChunks    int64
 	editedChunks   int64
 	moveBytesTotal int64
+
+	// Batch scratch, reused across batches (batch operations on a Tree are
+	// externally serialized; concurrent reads never touch these). The
+	// Sorters keep the radix/semisort buffers of internal/parallel alive
+	// between rounds, and the slices absorb the per-round frontier churn of
+	// the push-pull loops.
+	kpSorter    parallel.Sorter[keyed]
+	entrySorter parallel.Sorter[entry]
+	frontierBuf []entry
+	visitBuf    []int64
+	nodeBuf     []*Node
+	groupBuf    []chunkGroup
+	keyBuf      []uint64
+	loadBuf     map[int]int
 }
 
 // New builds a PIM-zd-tree over points (may be empty).
@@ -241,7 +255,7 @@ func New(cfg Config, points []geom.Point) *Tree {
 	t.sys.DirectAPI = !cfg.DisableDirectAPI
 	if len(points) > 0 {
 		kps := t.makeKeyed(points)
-		parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+		t.kpSorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 		t.chargeHostSort(len(kps))
 		t.root = t.buildLogical(kps)
 	}

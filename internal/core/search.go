@@ -41,7 +41,10 @@ func (t *Tree) Search(points []geom.Point) []SearchResult {
 // encodeKeys computes Morton keys on the host, charging the configured
 // z-order encoder's cost.
 func (t *Tree) encodeKeys(points []geom.Point) []uint64 {
-	keys := make([]uint64, len(points))
+	if cap(t.keyBuf) < len(points) {
+		t.keyBuf = make([]uint64, len(points))
+	}
+	keys := t.keyBuf[:len(points)]
 	parallel.For(len(points), func(i int) {
 		if points[i].Dims != t.cfg.Dims {
 			panic("core: query dims mismatch")
@@ -115,8 +118,17 @@ func (t *Tree) observe(n *Node, key uint64, opts searchOpts, r *SearchResult) {
 // searchL0 runs phase 1 and returns the frontier of (query, chunk-entry)
 // pairs that left L0.
 func (t *Tree) searchL0(keys []uint64, opts searchOpts, res []SearchResult) []entry {
-	frontier := make([]entry, len(keys))
-	visits := make([]int64, len(keys))
+	// The frontier backing is Tree scratch: it lives until searchKeys
+	// returns (later phases append in place, never past len(keys) entries)
+	// and is dead by the next batch.
+	if cap(t.frontierBuf) < len(keys) {
+		t.frontierBuf = make([]entry, len(keys))
+	}
+	frontier := t.frontierBuf[:len(keys)]
+	if cap(t.visitBuf) < len(keys) {
+		t.visitBuf = make([]int64, len(keys))
+	}
+	visits := t.visitBuf[:len(keys)]
 	run := func(i int) {
 		n, v := t.descendL0(keys[i], opts, &res[i])
 		visits[i] = v
@@ -152,6 +164,16 @@ func (t *Tree) searchL0(keys []uint64, opts searchOpts, res []SearchResult) []en
 		}
 	}
 	return out
+}
+
+// nodeScratch returns a reusable []*Node of length n. Slots are not
+// cleared: callers either write every slot they later read (searchL1) or
+// clear exactly the slots they may read (searchL2).
+func (t *Tree) nodeScratch(n int) []*Node {
+	if cap(t.nodeBuf) < n {
+		t.nodeBuf = make([]*Node, n)
+	}
+	return t.nodeBuf[:n]
 }
 
 // pullThresholdL1 is K = B log_P(ThetaL0/ThetaL1) from Alg. 1 step 2a.
@@ -219,22 +241,28 @@ func (t *Tree) groupByChunk(frontier []entry) []chunkGroup {
 	if len(frontier) == 0 {
 		return nil
 	}
-	groups := parallel.Semisort(frontier, func(e entry) uint64 { return e.node.Chunk.ID })
+	groups := t.entrySorter.Semisort(frontier, func(e entry) uint64 { return e.node.Chunk.ID })
 	t.sys.CPUPhase(parallel.CountingSortWork(len(frontier)), int64(len(frontier))*8, 0)
-	out := make([]chunkGroup, len(groups))
-	for i, g := range groups {
-		out[i] = chunkGroup{chunk: frontier[g.Lo].node.Chunk, entries: frontier[g.Lo:g.Hi]}
+	// The chunkGroup backing is Tree scratch too: callers are done with one
+	// round's groups before they regroup the next frontier.
+	out := t.groupBuf[:0]
+	for _, g := range groups {
+		out = append(out, chunkGroup{chunk: frontier[g.Lo].node.Chunk, entries: frontier[g.Lo:g.Hi]})
 	}
+	t.groupBuf = out
 	return out
 }
 
 // moduleLoads sums per-module query counts over groups.
-func moduleLoads(groups []chunkGroup) map[int]int {
-	loads := make(map[int]int)
-	for _, g := range groups {
-		loads[g.chunk.Module] += len(g.entries)
+func (t *Tree) moduleLoads(groups []chunkGroup) map[int]int {
+	if t.loadBuf == nil {
+		t.loadBuf = make(map[int]int)
 	}
-	return loads
+	clear(t.loadBuf)
+	for _, g := range groups {
+		t.loadBuf[g.chunk.Module] += len(g.entries)
+	}
+	return t.loadBuf
 }
 
 // searchL1 runs Alg. 1 steps 2-3 and returns the L2 frontier.
@@ -261,7 +289,7 @@ func (t *Tree) searchL1(keys []uint64, opts searchOpts, res []SearchResult, fron
 	kPull := t.pullThresholdL1()
 	for iter := 0; len(frontier) > 0 && iter < 64; iter++ {
 		groups := t.groupByChunk(frontier)
-		loads := moduleLoads(groups)
+		loads := t.moduleLoads(groups)
 		if !pim.Imbalanced(loads, t.P()) {
 			break
 		}
@@ -302,7 +330,9 @@ func (t *Tree) searchL1(keys []uint64, opts searchOpts, res []SearchResult, fron
 		// Alg. 1 step 3: push balanced queries; the entry module's L1
 		// caching finishes the whole L1 segment in this single round.
 		groups := t.groupByChunk(frontier)
-		next := make([]*Node, len(keys))
+		// No clearing needed: every e in groups writes next[e.qi] in the
+		// round before the read below.
+		next := t.nodeScratch(len(keys))
 		t.roundOverGroups(groups, func(m *pim.Module, g chunkGroup) {
 			m.Recv(int64(len(g.entries)) * queryMsgBytes)
 			for _, e := range g.entries {
@@ -324,6 +354,7 @@ func (t *Tree) searchL1(keys []uint64, opts searchOpts, res []SearchResult, fron
 // searchL2 runs Alg. 1 step 4: one push-pull round per L2 meta-level.
 func (t *Tree) searchL2(keys []uint64, opts searchOpts, res []SearchResult, frontier []entry) {
 	kPull := int(t.chunkB) // K = B
+	nextOf := t.nodeScratch(len(keys))
 	for len(frontier) > 0 {
 		groups := t.groupByChunk(frontier)
 		var pulled, pushed []chunkGroup
@@ -334,7 +365,12 @@ func (t *Tree) searchL2(keys []uint64, opts searchOpts, res []SearchResult, fron
 				pushed = append(pushed, g)
 			}
 		}
-		nextOf := make([]*Node, len(keys))
+		// record only writes advancing queries, so clear the slots of the
+		// in-flight frontier: a query that terminates this round must not
+		// see a stale pointer from an earlier round (or batch).
+		for _, e := range frontier {
+			nextOf[e.qi] = nil
+		}
 		record := func(qi int32, n *Node) { nextOf[qi] = n }
 
 		// Single BSP round: pulled chunks ship their masters up; pushed

@@ -5,7 +5,6 @@ import (
 
 	"pimzdtree/internal/geom"
 	"pimzdtree/internal/morton"
-	"pimzdtree/internal/parallel"
 	"pimzdtree/internal/pim"
 )
 
@@ -51,11 +50,14 @@ func (t *Tree) Insert(points []geom.Point) {
 		return
 	}
 	kps := t.makeKeyed(points)
-	parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+	t.kpSorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 	t.chargeHostSort(len(kps))
 
 	// Step 1: SEARCH(Q) — prices the search rounds and yields the traces.
-	keys := make([]uint64, len(kps))
+	if cap(t.keyBuf) < len(kps) {
+		t.keyBuf = make([]uint64, len(kps))
+	}
+	keys := t.keyBuf[:len(kps)]
 	for i, kp := range kps {
 		keys[i] = kp.key
 	}
@@ -297,9 +299,12 @@ func (t *Tree) Delete(points []geom.Point) {
 		return
 	}
 	kps := t.makeKeyed(points)
-	parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+	t.kpSorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 	t.chargeHostSort(len(kps))
-	keys := make([]uint64, len(kps))
+	if cap(t.keyBuf) < len(kps) {
+		t.keyBuf = make([]uint64, len(kps))
+	}
+	keys := t.keyBuf[:len(kps)]
 	for i, kp := range kps {
 		keys[i] = kp.key
 	}
@@ -517,7 +522,7 @@ func (t *Tree) Rebuild() {
 
 	// Re-sort and re-build on the host.
 	kps := t.makeKeyed(pts)
-	parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+	t.kpSorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 	t.chargeHostSort(len(kps))
 	t.root = t.buildLogical(kps)
 	t.markNew(t.root)

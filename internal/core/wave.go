@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"pimzdtree/internal/pim"
 )
 
@@ -50,6 +52,11 @@ func (t *Tree) runPushPullWaves(frontier []entry, msgBytes int64, scan waveScanF
 		for m := range activeSet {
 			active = append(active, m)
 		}
+		// Exits are concatenated in active order below and become the next
+		// wave's frontier; map iteration order would make that order — and
+		// every order-sensitive downstream cost (kNN bound tightening) —
+		// vary run to run.
+		sort.Ints(active)
 		exitSlots := make([][]entry, len(active)+1)
 		idxOf := make(map[int]int, len(active))
 		for i, m := range active {

@@ -5,7 +5,11 @@
 //
 // The primitives follow the binary-forking style of the paper's CPU cost
 // analysis: work is split recursively into goroutines down to a grain
-// size, giving O(n) work and polylog span for the loops and sorts.
+// size, giving O(n) work and polylog span for the loops, scans and sorts.
+// Every multi-pass primitive (sort, semisort, scan, filter) runs all of
+// its passes block-parallel across workers, and the sort/semisort paths
+// draw their scratch from per-size pools (or a caller-held Sorter) so
+// that steady-state batches allocate nothing per call.
 package parallel
 
 import (
@@ -21,6 +25,20 @@ const grain = 2048
 // maxProcs returns the parallelism to use.
 func maxProcs() int {
 	return runtime.GOMAXPROCS(0)
+}
+
+// workersFor returns the worker count for a block-parallel pass over n
+// elements: at most GOMAXPROCS, and with at least min elements per worker
+// so tiny inputs stay sequential.
+func workersFor(n, min int) int {
+	p := maxProcs()
+	if min > 0 && p > n/min {
+		p = n / min
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // For runs body(i) for every i in [0, n) in parallel.
@@ -64,7 +82,16 @@ func ForRange(lo, hi int, body func(i int)) {
 // runs body(worker, lo, hi) for each. Use when per-element closures are too
 // fine-grained.
 func Blocks(n int, body func(worker, lo, hi int)) {
-	p := maxProcs()
+	BlocksN(maxProcs(), n, body)
+}
+
+// BlocksN partitions [0, n) into exactly min(p, n) contiguous chunks and
+// runs body(worker, lo, hi) for each, with worker < min(p, n). Multi-pass
+// primitives use it with a fixed p so every pass sees the same partition.
+func BlocksN(p, n int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
 	if p > n {
 		p = n
 	}
@@ -86,13 +113,23 @@ func Blocks(n int, body func(worker, lo, hi int)) {
 }
 
 // Do runs the given thunks in parallel and waits for all of them; the
-// two-argument case is the binary fork of the fork-join model.
+// two-argument case is the binary fork of the fork-join model. On a
+// single-proc runtime the thunks run sequentially in argument order:
+// forking there only adds preemption-dependent interleaving, which made
+// the baseline LLC simulation (access-order-sensitive LRU) nondeterministic
+// run to run.
 func Do(thunks ...func()) {
 	switch len(thunks) {
 	case 0:
 		return
 	case 1:
 		thunks[0]()
+		return
+	}
+	if maxProcs() == 1 {
+		for _, t := range thunks {
+			t()
+		}
 		return
 	}
 	var wg sync.WaitGroup
@@ -135,18 +172,18 @@ func Reduce[T any](in []T, identity T, op func(a, b T) T) T {
 		}
 		return acc
 	}
+	// partial is sized for exactly the worker count handed to BlocksN, so
+	// partial[w] stays in range however GOMAXPROCS relates to len(in).
 	p := maxProcs()
 	if p > len(in)/grain+1 {
 		p = len(in)/grain + 1
 	}
 	partial := make([]T, p)
-	Blocks(len(in), func(w, lo, hi int) {
+	BlocksN(p, len(in), func(w, lo, hi int) {
 		acc := identity
 		for _, v := range in[lo:hi] {
 			acc = op(acc, v)
 		}
-		// Blocks may use fewer workers than p when n is small; indexes
-		// are still unique per call.
 		partial[w] = acc
 	})
 	acc := identity
@@ -171,19 +208,73 @@ func MaxInt64(in []int64, identity int64) int64 {
 	})
 }
 
-// ExclusiveScan computes the exclusive prefix sum of in, returning the
-// offsets slice (same length) and the total.
-func ExclusiveScan(in []int) (offsets []int, total int) {
-	offsets = make([]int, len(in))
-	run := 0
-	for i, v := range in {
-		offsets[i] = run
-		run += v
-	}
-	return offsets, run
+// integer constrains the element types the scan primitives accept.
+type integer interface {
+	~int | ~int32 | ~int64
 }
 
-// Filter returns the elements of in satisfying keep, preserving order.
+// scanInto writes the exclusive prefix sums of in to out (which may alias
+// in) and returns the total. It is the blocked upsweep/downsweep scan: an
+// upsweep of per-worker block sums, a serial scan over the p block sums,
+// and a downsweep writing each block's running prefix.
+func scanInto[I integer](in, out []I) I {
+	n := len(in)
+	p := workersFor(n, grain)
+	if p <= 1 {
+		var run I
+		for i, v := range in {
+			out[i] = run
+			run += v
+		}
+		return run
+	}
+	var sums [256]I // p is capped by GOMAXPROCS, far below 256
+	if p > len(sums) {
+		p = len(sums)
+	}
+	BlocksN(p, n, func(w, lo, hi int) {
+		var s I
+		for _, v := range in[lo:hi] {
+			s += v
+		}
+		sums[w] = s
+	})
+	var run I
+	for w := 0; w < p; w++ {
+		sums[w], run = run, run+sums[w]
+	}
+	BlocksN(p, n, func(w, lo, hi int) {
+		run := sums[w]
+		for i := lo; i < hi; i++ {
+			v := in[i]
+			out[i] = run
+			run += v
+		}
+	})
+	return run
+}
+
+// ExclusiveScan computes the exclusive prefix sum of in in parallel,
+// returning the offsets slice (same length) and the total.
+func ExclusiveScan(in []int) (offsets []int, total int) {
+	offsets = make([]int, len(in))
+	total = scanInto(in, offsets)
+	return offsets, total
+}
+
+// ExclusiveScanInto writes the exclusive prefix sums of in into out, which
+// must have the same length and may be in itself, and returns the total.
+func ExclusiveScanInto(in, out []int) int {
+	if len(in) != len(out) {
+		panic("parallel: ExclusiveScanInto length mismatch")
+	}
+	return scanInto(in, out)
+}
+
+// Filter returns the elements of in satisfying keep, preserving order. The
+// parallel path counts per worker, sizes the output by an exclusive scan
+// over the counts, and writes each worker's survivors at its scan offset —
+// no append-and-concat. keep must be pure: it runs twice per element.
 func Filter[T any](in []T, keep func(T) bool) []T {
 	if len(in) <= grain {
 		var out []T
@@ -194,20 +285,31 @@ func Filter[T any](in []T, keep func(T) bool) []T {
 		}
 		return out
 	}
-	p := maxProcs()
-	parts := make([][]T, p)
-	Blocks(len(in), func(w, lo, hi int) {
-		var part []T
+	p := workersFor(len(in), grain)
+	counts := intPool.get(p)
+	BlocksN(p, len(in), func(w, lo, hi int) {
+		c := 0
 		for _, v := range in[lo:hi] {
 			if keep(v) {
-				part = append(part, v)
+				c++
 			}
 		}
-		parts[w] = part
+		counts[w] = c
 	})
-	var out []T
-	for _, part := range parts {
-		out = append(out, part...)
+	total := 0
+	for w := 0; w < p; w++ {
+		counts[w], total = total, total+counts[w]
 	}
+	out := make([]T, total)
+	BlocksN(p, len(in), func(w, lo, hi int) {
+		o := counts[w]
+		for _, v := range in[lo:hi] {
+			if keep(v) {
+				out[o] = v
+				o++
+			}
+		}
+	})
+	intPool.put(counts)
 	return out
 }

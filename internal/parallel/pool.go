@@ -1,0 +1,35 @@
+package parallel
+
+import "sync"
+
+// slicePool is a per-size-class-free pool of slices: get returns a slice of
+// length n (contents undefined — callers zero what they read before
+// writing), reusing the largest pooled backing array when it fits. It keeps
+// steady-state sort/semisort batches allocation-free without threading a
+// Sorter through every call site.
+type slicePool[T any] struct{ p sync.Pool }
+
+func (sp *slicePool[T]) get(n int) []T {
+	if v := sp.p.Get(); v != nil {
+		s := *(v.(*[]T))
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]T, n)
+}
+
+func (sp *slicePool[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	sp.p.Put(&s)
+}
+
+// Shared scratch pools for the sort, semisort, scan and filter paths.
+var (
+	u64Pool slicePool[uint64]
+	i32Pool slicePool[int32]
+	intPool slicePool[int]
+)

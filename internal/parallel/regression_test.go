@@ -1,0 +1,209 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// TestReduceManyWorkersRegression pins the fix for the out-of-range panic:
+// Reduce sized its partials with a capped worker count but handed the
+// blocked pass an independent GOMAXPROCS-derived count, so any host with
+// GOMAXPROCS > len(in)/grain+1 indexed past the end. 2049 elements with 8
+// procs is the smallest shape that crossed the old paths.
+func TestReduceManyWorkersRegression(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	in := make([]int64, grain+1)
+	var want int64
+	for i := range in {
+		in[i] = int64(i)
+		want += int64(i)
+	}
+	if got := Sum(in); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+}
+
+type ssItem struct {
+	key uint64
+	id  int
+}
+
+// semisortReference is the old sort-based semisort: stable sort by key,
+// then scan for boundaries. The hash-based path must reproduce its output
+// byte for byte (groups ascending by key, stable within each group).
+func semisortReference(items []ssItem) []Group {
+	sort.SliceStable(items, func(i, j int) bool { return items[i].key < items[j].key })
+	var groups []Group
+	for i := 0; i < len(items); {
+		j := i + 1
+		for j < len(items) && items[j].key == items[i].key {
+			j++
+		}
+		groups = append(groups, Group{Key: items[i].key, Lo: i, Hi: j})
+		i = j
+	}
+	return groups
+}
+
+func TestSemisortMatchesSortReference(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	for _, tc := range []struct {
+		n, distinct int
+	}{
+		{100, 7},         // sequential fallback
+		{50_000, 512},    // hash path, chunk-id-like key density
+		{50_000, 2048},   // hash path at P buckets
+		{8192, 1},        // all equal
+		{20_000, 20_000}, // all distinct: sort fallback
+	} {
+		rng := rand.New(rand.NewSource(int64(tc.n) + int64(tc.distinct)))
+		items := make([]ssItem, tc.n)
+		for i := range items {
+			items[i] = ssItem{key: uint64(rng.Intn(tc.distinct)), id: i}
+		}
+		ref := append([]ssItem(nil), items...)
+		wantGroups := semisortReference(ref)
+
+		gotGroups := Semisort(items, func(e ssItem) uint64 { return e.key })
+
+		if len(gotGroups) != len(wantGroups) {
+			t.Fatalf("n=%d distinct=%d: %d groups, want %d", tc.n, tc.distinct, len(gotGroups), len(wantGroups))
+		}
+		for i := range wantGroups {
+			if gotGroups[i] != wantGroups[i] {
+				t.Fatalf("n=%d distinct=%d: group %d = %+v, want %+v", tc.n, tc.distinct, i, gotGroups[i], wantGroups[i])
+			}
+		}
+		for i := range ref {
+			if items[i] != ref[i] {
+				t.Fatalf("n=%d distinct=%d: item %d = %+v, want %+v (layout must match sort-based semisort)",
+					tc.n, tc.distinct, i, items[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSorterReuseAcrossCalls(t *testing.T) {
+	var s Sorter[ssItem]
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{10_000, 100, 60_000, 60_000, 5000} {
+		items := make([]ssItem, n)
+		for i := range items {
+			items[i] = ssItem{key: uint64(rng.Intn(97)), id: i}
+		}
+		ref := append([]ssItem(nil), items...)
+		want := semisortReference(ref)
+		got := s.Semisort(items, func(e ssItem) uint64 { return e.key })
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d groups, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: group %d = %+v, want %+v", n, i, got[i], want[i])
+			}
+		}
+		// And a sort on the same Sorter between semisorts.
+		s.SortBy(items, func(e ssItem) uint64 { return uint64(e.id) })
+		for i := range items {
+			if items[i].id != i {
+				t.Fatalf("n=%d: SortBy after Semisort misplaced id %d at %d", n, items[i].id, i)
+			}
+		}
+	}
+}
+
+func TestSortByStableLargeParallel(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(3))
+	n := 200_000
+	items := make([]ssItem, n)
+	for i := range items {
+		items[i] = ssItem{key: uint64(rng.Intn(1000)), id: i}
+	}
+	SortBy(items, func(e ssItem) uint64 { return e.key })
+	for i := 1; i < n; i++ {
+		if items[i-1].key > items[i].key {
+			t.Fatalf("unsorted at %d: %d > %d", i, items[i-1].key, items[i].key)
+		}
+		if items[i-1].key == items[i].key && items[i-1].id > items[i].id {
+			t.Fatalf("unstable at %d: id %d before %d", i, items[i-1].id, items[i].id)
+		}
+	}
+}
+
+func TestSortKeysLargeParallel(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(4))
+	keys := make([]uint64, 300_000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	SortKeys(keys)
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("keys[%d] = %d, want %d", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestExclusiveScanParallelAliased(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(5))
+	n := 100_000
+	in := make([]int, n)
+	for i := range in {
+		in[i] = rng.Intn(9)
+	}
+	wantOut := make([]int, n)
+	run := 0
+	for i, v := range in {
+		wantOut[i] = run
+		run += v
+	}
+	// In-place: out aliases in.
+	got := append([]int(nil), in...)
+	total := ExclusiveScanInto(got, got)
+	if total != run {
+		t.Fatalf("total = %d, want %d", total, run)
+	}
+	for i := range wantOut {
+		if got[i] != wantOut[i] {
+			t.Fatalf("offset[%d] = %d, want %d", i, got[i], wantOut[i])
+		}
+	}
+}
+
+func TestFilterParallelLarge(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	n := 100_000
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	keep := func(v int) bool { return v%3 == 0 }
+	got := Filter(in, keep)
+	var want []int
+	for _, v := range in {
+		if keep(v) {
+			want = append(want, v)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package parallel
+
+import "math"
+
+// Group describes one run of equal keys after a Semisort: items[Lo:Hi] all
+// map to Key.
+type Group struct {
+	Key    uint64
+	Lo, Hi int
+}
+
+// semisortCutoff is the input size below which the hash machinery loses to
+// a plain sort-and-scan.
+const semisortCutoff = 4096
+
+// Semisort groups items by key without the cost of a full sort: workers
+// count keys into per-worker open-addressing tables (the frontier keys are
+// chunk ids, so there are O(P) distinct values, not O(n)), the per-(group,
+// worker) counts are merged by one parallel exclusive scan into stable
+// scatter offsets, and a second parallel pass moves each item directly to
+// its slot. Output order is deterministic and matches the sort-based
+// layout exactly: groups ascending by key, input order preserved within a
+// group. Degenerate inputs (tiny, or mostly-distinct keys) fall back to
+// the stable sort.
+func Semisort[T any](items []T, keyOf func(T) uint64) []Group {
+	var s Sorter[T]
+	return s.Semisort(items, keyOf)
+}
+
+// Semisort is the Sorter-scratch form of the package-level Semisort. The
+// returned groups alias the Sorter's scratch and are valid until the next
+// call on the same Sorter.
+func (s *Sorter[T]) Semisort(items []T, keyOf func(T) uint64) []Group {
+	n := len(items)
+	s.groups = s.groups[:0]
+	if n == 0 {
+		return s.groups
+	}
+	if n < semisortCutoff || n > math.MaxInt32 {
+		return s.semisortSorted(items, keyOf)
+	}
+	p := workersFor(n, sortGrain)
+	s.ensureKeys(n)
+	if s.fillKeys(items, keyOf, p) == 0 {
+		// All keys equal: one group, no movement.
+		s.groups = append(s.groups, Group{Key: keyOf(items[0]), Lo: 0, Hi: n})
+		return s.groups
+	}
+	keys := s.keys[:n]
+
+	// Pass 1: per-worker hash counting of (key, multiplicity).
+	lists := kcListPool.get(p)
+	BlocksN(p, n, func(w, lo, hi int) {
+		var tab localCounter
+		tab.init(hi - lo)
+		for _, k := range keys[lo:hi] {
+			tab.incr(k)
+		}
+		lists[w] = tab.drain()
+	})
+
+	// Merge: collect the distinct keys and bail out to the sort if grouping
+	// degenerates (≈ all keys distinct makes the count matrix quadratic-ish
+	// and the groups useless to callers anyway).
+	s.distinct = s.distinct[:0]
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	s.gtab.reset(total)
+	for _, l := range lists {
+		for _, e := range l {
+			if s.gtab.lookup(e.key) < 0 {
+				s.gtab.insert(e.key, int32(len(s.distinct)))
+				s.distinct = append(s.distinct, e.key)
+			}
+		}
+	}
+	g := len(s.distinct)
+	if g > n/4 || g*p > 4*n {
+		for _, l := range lists {
+			kcPool.put(l)
+		}
+		kcListPool.put(lists)
+		return s.semisortSorted(items, keyOf)
+	}
+
+	// Order groups ascending by key — this is what makes the output
+	// byte-identical to the sort-based semisort — and point the table at
+	// the sorted group ids.
+	SortKeys(s.distinct)
+	for i, k := range s.distinct {
+		s.gtab.insert(k, int32(i))
+	}
+
+	// cnt[(group, worker)] scanned exclusively gives the absolute offset of
+	// worker w's first item of that group: bucket-major then worker order is
+	// exactly the stable layout.
+	cnt := i32Pool.get(g * p)
+	clear(cnt)
+	for w, l := range lists {
+		for _, e := range l {
+			cnt[int(s.gtab.lookup(e.key))*p+w] = e.cnt
+		}
+	}
+	scanInto(cnt, cnt)
+	for i, k := range s.distinct {
+		hi := n
+		if i+1 < g {
+			hi = int(cnt[(i+1)*p])
+		}
+		s.groups = append(s.groups, Group{Key: k, Lo: int(cnt[i*p]), Hi: hi})
+	}
+
+	// Transpose to per-worker cursor rows so the scatter pass increments
+	// worker-local memory (no false sharing between workers).
+	cur := i32Pool.get(g * p)
+	BlocksN(p, p, func(_, lo, hi int) {
+		for w := lo; w < hi; w++ {
+			for i := 0; i < g; i++ {
+				cur[w*g+i] = cnt[i*p+w]
+			}
+		}
+	})
+
+	// Pass 2: stable parallel scatter through the group table.
+	if cap(s.buf) < n {
+		s.buf = make([]T, n)
+	}
+	buf := s.buf[:n]
+	BlocksN(p, n, func(w, lo, hi int) {
+		cw := cur[w*g : (w+1)*g]
+		for i := lo; i < hi; i++ {
+			gi := s.gtab.lookup(keys[i])
+			pos := cw[gi]
+			cw[gi] = pos + 1
+			buf[pos] = items[i]
+		}
+	})
+	BlocksN(p, n, func(_, lo, hi int) { copy(items[lo:hi], buf[lo:hi]) })
+
+	i32Pool.put(cnt)
+	i32Pool.put(cur)
+	for _, l := range lists {
+		kcPool.put(l)
+	}
+	kcListPool.put(lists)
+	return s.groups
+}
+
+// semisortSorted is the sort-based fallback (and the small-input fast
+// path): stable sort by key, then a linear scan for the group boundaries.
+func (s *Sorter[T]) semisortSorted(items []T, keyOf func(T) uint64) []Group {
+	s.SortBy(items, keyOf)
+	for i := 0; i < len(items); {
+		k := keyOf(items[i])
+		j := i + 1
+		for j < len(items) && keyOf(items[j]) == k {
+			j++
+		}
+		s.groups = append(s.groups, Group{Key: k, Lo: i, Hi: j})
+		i = j
+	}
+	return s.groups
+}
+
+// kc is one (key, multiplicity) cell of a worker's local count table.
+type kc struct {
+	key uint64
+	cnt int32
+}
+
+var (
+	kcPool     slicePool[kc]
+	kcListPool slicePool[[]kc]
+)
+
+// hash64 is the splitmix64 finalizer — a cheap, well-mixed hash for the
+// open-addressing tables.
+func hash64(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// localCounter is a worker-private open-addressing key→count table.
+type localCounter struct {
+	keys []uint64
+	cnts []int32
+	mask uint64
+	used int
+}
+
+func (t *localCounter) init(sizeHint int) {
+	c := 1024
+	for c < sizeHint/8 {
+		c <<= 1
+	}
+	t.keys = u64Pool.get(c)
+	t.cnts = i32Pool.get(c)
+	clear(t.cnts)
+	t.mask = uint64(c - 1)
+	t.used = 0
+}
+
+func (t *localCounter) incr(k uint64) {
+	i := hash64(k) & t.mask
+	for {
+		if t.cnts[i] == 0 {
+			t.keys[i] = k
+			t.cnts[i] = 1
+			t.used++
+			if t.used*4 >= len(t.keys)*3 {
+				t.grow()
+			}
+			return
+		}
+		if t.keys[i] == k {
+			t.cnts[i]++
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *localCounter) grow() {
+	oldK, oldC := t.keys, t.cnts
+	c := 2 * len(oldK)
+	t.keys = u64Pool.get(c)
+	t.cnts = i32Pool.get(c)
+	clear(t.cnts)
+	t.mask = uint64(c - 1)
+	for i, n := range oldC {
+		if n == 0 {
+			continue
+		}
+		j := hash64(oldK[i]) & t.mask
+		for t.cnts[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = oldK[i]
+		t.cnts[j] = n
+	}
+	u64Pool.put(oldK)
+	i32Pool.put(oldC)
+}
+
+// drain compacts the occupied cells into a pooled []kc and releases the
+// table arrays. The cell order is table order (hash-dependent but a pure
+// function of the key set, hence deterministic).
+func (t *localCounter) drain() []kc {
+	out := kcPool.get(t.used)[:0]
+	for i, n := range t.cnts {
+		if n != 0 {
+			out = append(out, kc{key: t.keys[i], cnt: n})
+		}
+	}
+	u64Pool.put(t.keys)
+	i32Pool.put(t.cnts)
+	t.keys, t.cnts = nil, nil
+	return out
+}
+
+// groupTable maps distinct keys to group ids; insert overwrites, so the
+// merge can first assign provisional ids and then re-point every key at
+// its rank after the distinct keys are sorted.
+type groupTable struct {
+	keys []uint64
+	gids []int32
+	mask uint64
+	used int
+}
+
+// reset empties the table and sizes it for up to sizeHint keys.
+func (t *groupTable) reset(sizeHint int) {
+	c := 1024
+	for c < sizeHint*2 {
+		c <<= 1
+	}
+	if cap(t.keys) >= c {
+		t.keys = t.keys[:c]
+		t.gids = t.gids[:c]
+	} else {
+		t.keys = make([]uint64, c)
+		t.gids = make([]int32, c)
+	}
+	for i := range t.gids {
+		t.gids[i] = -1
+	}
+	t.mask = uint64(c - 1)
+	t.used = 0
+}
+
+// lookup returns the gid for k, or -1.
+func (t *groupTable) lookup(k uint64) int32 {
+	i := hash64(k) & t.mask
+	for {
+		g := t.gids[i]
+		if g < 0 {
+			return -1
+		}
+		if t.keys[i] == k {
+			return g
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert sets k's gid, adding the key if absent. The table never grows:
+// reset sized it for every distinct key the merge can see.
+func (t *groupTable) insert(k uint64, gid int32) {
+	i := hash64(k) & t.mask
+	for {
+		if t.gids[i] < 0 {
+			t.keys[i] = k
+			t.gids[i] = gid
+			t.used++
+			return
+		}
+		if t.keys[i] == k {
+			t.gids[i] = gid
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}

@@ -4,101 +4,232 @@ import (
 	"sort"
 )
 
-// SortKeys sorts a slice of uint64 Morton keys in parallel using an LSD
-// radix sort over 11-bit digits with a merge-free counting pass per digit.
-// The paper's CPU phases use parallel radix sort [Dong et al., PPoPP'24];
-// this is the practical equivalent for 64-bit keys.
+const (
+	radixBits    = 11
+	radixBuckets = 1 << radixBits
+	radixMask    = radixBuckets - 1
+
+	// seqSortCutoff is the input size below which the stdlib sorts beat
+	// the radix machinery.
+	seqSortCutoff = 4096
+
+	// sortGrain is the minimum per-worker block of the parallel sort and
+	// semisort passes; below it, extra workers cost more than they help.
+	sortGrain = 4096
+)
+
+// Sorter carries reusable scratch for repeated sorts and semisorts of the
+// same item type: the scatter buffer, the precomputed key side arrays, the
+// per-worker histograms, and the semisort group table. A long-lived batch
+// loop holds one Sorter and sorts allocation-free at steady state. A
+// Sorter must not be used concurrently; the zero value is ready to use.
+type Sorter[T any] struct {
+	buf      []T      // scatter destination
+	keys     []uint64 // keyOf(items[i]), computed once per call
+	keysAlt  []uint64 // key scatter destination, permuted with buf
+	counts   []int    // per-worker histograms + their (bucket, worker) transpose
+	groups   []Group  // semisort result, reused across calls
+	distinct []uint64 // semisort distinct keys
+	gtab     groupTable
+}
+
+// SortKeys sorts a slice of uint64 Morton keys with a block-parallel LSD
+// radix sort over 11-bit digits: per-worker histograms are merged by a
+// parallel exclusive scan into per-worker scatter offsets, so every pass
+// (count, merge, scatter) runs on all workers. The paper's CPU phases use
+// parallel radix sort [Dong et al., PPoPP'24]; this is the practical
+// equivalent for 64-bit keys. Scratch comes from pools: steady-state calls
+// allocate nothing.
 func SortKeys(keys []uint64) {
-	if len(keys) < 4096 {
+	n := len(keys)
+	if n < seqSortCutoff {
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 		return
 	}
-	radixSortFunc(keys, func(k uint64) uint64 { return k })
-}
-
-// SortBy sorts items in parallel by the uint64 key extracted by keyOf.
-// The sort is stable with respect to equal keys.
-func SortBy[T any](items []T, keyOf func(T) uint64) {
-	if len(items) < 4096 {
-		sort.SliceStable(items, func(i, j int) bool { return keyOf(items[i]) < keyOf(items[j]) })
+	p := workersFor(n, sortGrain)
+	varying := varyingBits(keys, p)
+	if varying == 0 {
 		return
 	}
-	radixSortFunc(items, keyOf)
-}
-
-const radixBits = 11
-const radixBuckets = 1 << radixBits
-const radixMask = radixBuckets - 1
-
-// radixSortFunc is a stable LSD radix sort over 64-bit keys. Passes over
-// digits that are constant across the input are skipped, so sorting keys
-// with few significant bits is proportionally cheaper.
-func radixSortFunc[T any](items []T, keyOf func(T) uint64) {
-	n := len(items)
-	buf := make([]T, n)
-	src, dst := items, buf
-	swapped := false
-
-	// Determine which digit positions vary.
-	var orAll, andAll uint64 = 0, ^uint64(0)
-	for _, v := range src {
-		k := keyOf(v)
-		orAll |= k
-		andAll &= k
-	}
-	varying := orAll &^ andAll
-
+	alt := u64Pool.get(n)
+	counts := intPool.get(2 * p * radixBuckets)
+	src, dst := keys, alt
 	for shift := uint(0); shift < 64; shift += radixBits {
 		if varying>>shift&radixMask == 0 {
 			continue
 		}
-		var counts [radixBuckets]int
-		for _, v := range src {
-			counts[keyOf(v)>>shift&radixMask]++
-		}
-		run := 0
-		for b := 0; b < radixBuckets; b++ {
-			c := counts[b]
-			counts[b] = run
-			run += c
-		}
-		for _, v := range src {
-			b := keyOf(v) >> shift & radixMask
-			dst[counts[b]] = v
-			counts[b]++
-		}
+		radixOffsets(src, nil, counts, p, shift)
+		hist := counts[:p*radixBuckets]
+		BlocksN(p, n, func(w, lo, hi int) {
+			row := hist[w*radixBuckets : (w+1)*radixBuckets]
+			for _, k := range src[lo:hi] {
+				b := k >> shift & radixMask
+				dst[row[b]] = k
+				row[b]++
+			}
+		})
 		src, dst = dst, src
-		swapped = !swapped
 	}
-	if swapped {
-		copy(items, src)
+	if &src[0] != &keys[0] {
+		BlocksN(p, n, func(_, lo, hi int) { copy(keys[lo:hi], src[lo:hi]) })
 	}
+	u64Pool.put(alt)
+	intPool.put(counts)
 }
 
-// Group is a contiguous run of equal keys produced by Semisort.
-type Group struct {
-	Key    uint64
-	Lo, Hi int // half-open index range into the semisorted slice
+// SortBy sorts items in parallel by the uint64 key extracted by keyOf.
+// The sort is stable with respect to equal keys. The keys are extracted
+// once into a side array and permuted alongside the items, so keyOf runs
+// exactly len(items) times regardless of the number of radix passes.
+func SortBy[T any](items []T, keyOf func(T) uint64) {
+	var s Sorter[T]
+	s.SortBy(items, keyOf)
 }
 
-// Semisort reorders items so that equal keys are contiguous (the relative
-// order of distinct key groups is by key value, which is stronger than a
-// semisort requires but costs the same here), and returns one Group per
-// distinct key. The push-pull batching of the paper's SEARCH uses exactly
-// this operation to gather the queries destined for each meta-node.
-func Semisort[T any](items []T, keyOf func(T) uint64) []Group {
-	SortBy(items, keyOf)
-	var groups []Group
-	for i := 0; i < len(items); {
-		j := i + 1
-		k := keyOf(items[i])
-		for j < len(items) && keyOf(items[j]) == k {
-			j++
+// SortBy is the Sorter-scratch form of the package-level SortBy.
+func (s *Sorter[T]) SortBy(items []T, keyOf func(T) uint64) {
+	n := len(items)
+	if n < seqSortCutoff {
+		sort.SliceStable(items, func(i, j int) bool { return keyOf(items[i]) < keyOf(items[j]) })
+		return
+	}
+	p := workersFor(n, sortGrain)
+	s.ensureSort(n, p)
+	varying := s.fillKeys(items, keyOf, p)
+	if varying == 0 {
+		return
+	}
+	src, dst := items, s.buf[:n]
+	ksrc, kdst := s.keys[:n], s.keysAlt[:n]
+	hist := s.counts[:p*radixBuckets]
+	for shift := uint(0); shift < 64; shift += radixBits {
+		if varying>>shift&radixMask == 0 {
+			continue
 		}
-		groups = append(groups, Group{Key: k, Lo: i, Hi: j})
-		i = j
+		radixOffsets(ksrc, nil, s.counts, p, shift)
+		BlocksN(p, n, func(w, lo, hi int) {
+			row := hist[w*radixBuckets : (w+1)*radixBuckets]
+			for i := lo; i < hi; i++ {
+				k := ksrc[i]
+				b := k >> shift & radixMask
+				pos := row[b]
+				row[b] = pos + 1
+				kdst[pos] = k
+				dst[pos] = src[i]
+			}
+		})
+		src, dst = dst, src
+		ksrc, kdst = kdst, ksrc
 	}
-	return groups
+	if &src[0] != &items[0] {
+		BlocksN(p, n, func(_, lo, hi int) { copy(items[lo:hi], src[lo:hi]) })
+	}
+}
+
+// ensureSort grows the Sorter's scratch for an n-element, p-worker sort.
+func (s *Sorter[T]) ensureSort(n, p int) {
+	if cap(s.buf) < n {
+		s.buf = make([]T, n)
+	}
+	s.ensureKeys(n)
+	if cap(s.keysAlt) < n {
+		s.keysAlt = make([]uint64, n)
+	}
+	if c := 2 * p * radixBuckets; cap(s.counts) < c {
+		s.counts = make([]int, c)
+	} else {
+		s.counts = s.counts[:c]
+	}
+}
+
+func (s *Sorter[T]) ensureKeys(n int) {
+	if cap(s.keys) < n {
+		s.keys = make([]uint64, n)
+	}
+}
+
+// fillKeys computes keyOf for every item into s.keys and returns the mask
+// of key bits that vary across the input (per-worker OR/AND folded during
+// the same pass, so digit skipping costs no extra sweep).
+func (s *Sorter[T]) fillKeys(items []T, keyOf func(T) uint64, p int) uint64 {
+	keys := s.keys[:len(items)]
+	oa := u64Pool.get(2 * p)
+	BlocksN(p, len(items), func(w, lo, hi int) {
+		var orAll uint64
+		andAll := ^uint64(0)
+		for i := lo; i < hi; i++ {
+			k := keyOf(items[i])
+			keys[i] = k
+			orAll |= k
+			andAll &= k
+		}
+		oa[2*w], oa[2*w+1] = orAll, andAll
+	})
+	var orAll uint64
+	andAll := ^uint64(0)
+	for w := 0; w < p; w++ {
+		orAll |= oa[2*w]
+		andAll &= oa[2*w+1]
+	}
+	u64Pool.put(oa)
+	return orAll &^ andAll
+}
+
+// varyingBits returns the mask of bits that differ across keys.
+func varyingBits(keys []uint64, p int) uint64 {
+	oa := u64Pool.get(2 * p)
+	BlocksN(p, len(keys), func(w, lo, hi int) {
+		var orAll uint64
+		andAll := ^uint64(0)
+		for _, k := range keys[lo:hi] {
+			orAll |= k
+			andAll &= k
+		}
+		oa[2*w], oa[2*w+1] = orAll, andAll
+	})
+	var orAll uint64
+	andAll := ^uint64(0)
+	for w := 0; w < p; w++ {
+		orAll |= oa[2*w]
+		andAll &= oa[2*w+1]
+	}
+	u64Pool.put(oa)
+	return orAll &^ andAll
+}
+
+// radixOffsets counts the digit at shift per worker into the first half of
+// counts (one histogram row per worker), then merges the rows into
+// per-worker scatter offsets: the rows are transposed to (bucket, worker)
+// order in the second half, a parallel exclusive scan turns them into
+// absolute positions (stable: bucket-major, then worker, then block
+// order), and the scanned values are transposed back into the rows. keys
+// may carry a nil aux — the parameter exists so keys-only and keyed-item
+// sorts share this merge.
+func radixOffsets(keys []uint64, _ []struct{}, counts []int, p int, shift uint) {
+	n := len(keys)
+	hist := counts[:p*radixBuckets]
+	trans := counts[p*radixBuckets : 2*p*radixBuckets]
+	BlocksN(p, n, func(w, lo, hi int) {
+		row := hist[w*radixBuckets : (w+1)*radixBuckets]
+		clear(row)
+		for _, k := range keys[lo:hi] {
+			row[k>>shift&radixMask]++
+		}
+	})
+	For(radixBuckets, func(b int) {
+		for w := 0; w < p; w++ {
+			trans[b*p+w] = hist[w*radixBuckets+b]
+		}
+	})
+	scanInto(trans, trans)
+	BlocksN(p, p, func(_, lo, hi int) {
+		for w := lo; w < hi; w++ {
+			row := hist[w*radixBuckets : (w+1)*radixBuckets]
+			for b := range row {
+				row[b] = trans[b*p+w]
+			}
+		}
+	})
 }
 
 // CountingSortWork returns the abstract CPU work units charged for

@@ -111,6 +111,7 @@ type System struct {
 	DirectAPI bool // use the improved Direct API (§6); false models SDK overhead
 
 	modules []*Module
+	allIDs  []int // cached [0..P) id list served by AllModules
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -124,8 +125,10 @@ func NewSystem(machine costmodel.Machine) *System {
 	}
 	s := &System{Machine: machine, DirectAPI: true}
 	s.modules = make([]*Module, machine.PIMModules)
+	s.allIDs = make([]int, machine.PIMModules)
 	for i := range s.modules {
 		s.modules[i] = &Module{ID: i}
+		s.allIDs[i] = i
 	}
 	return s
 }
@@ -187,13 +190,11 @@ func (s *System) Round(active []int, handler func(m *Module)) RoundStats {
 	return st
 }
 
-// AllModules returns the id list [0..P).
+// AllModules returns the id list [0..P). The slice is cached and shared —
+// every Broadcast and full round uses it — so callers must treat it as
+// read-only.
 func (s *System) AllModules() []int {
-	ids := make([]int, s.P())
-	for i := range ids {
-		ids[i] = i
-	}
-	return ids
+	return s.allIDs
 }
 
 // Broadcast charges a CPU->all-modules transfer of bytes each, as used when

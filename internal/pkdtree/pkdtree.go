@@ -93,11 +93,11 @@ func (n *node) isLeaf() bool { return n.left == nil }
 func New(cfg Config, points []geom.Point) *Tree {
 	cfg.fill()
 	t := &Tree{cfg: cfg}
-	for _, p := range points {
-		if p.Dims != cfg.Dims {
-			panic(fmt.Sprintf("pkdtree: point dims %d != tree dims %d", p.Dims, cfg.Dims))
+	parallel.For(len(points), func(i int) {
+		if points[i].Dims != cfg.Dims {
+			panic(fmt.Sprintf("pkdtree: point dims %d != tree dims %d", points[i].Dims, cfg.Dims))
 		}
-	}
+	})
 	if len(points) > 0 {
 		t.root = t.build(points)
 	}

@@ -13,11 +13,11 @@ func (t *Tree) Insert(points []geom.Point) {
 	if len(points) == 0 {
 		return
 	}
-	for _, p := range points {
-		if p.Dims != t.cfg.Dims {
+	parallel.For(len(points), func(i int) {
+		if points[i].Dims != t.cfg.Dims {
 			panic("pkdtree: point dims mismatch")
 		}
-	}
+	})
 	batch := append([]geom.Point(nil), points...)
 	if t.root == nil {
 		t.root = t.build(batch)

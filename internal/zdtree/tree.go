@@ -78,6 +78,10 @@ func (c *Config) fill() {
 type Tree struct {
 	cfg  Config
 	root *node
+
+	// sorter carries the reusable radix-sort scratch across update batches
+	// (updates are externally serialized, so the scratch is never shared).
+	sorter parallel.Sorter[keyed]
 }
 
 // node is a tree node; leaves have left == nil. The node's z-order prefix
@@ -108,7 +112,7 @@ func New(cfg Config, points []geom.Point) *Tree {
 		return t
 	}
 	kps := t.makeKeyed(points)
-	parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+	t.sorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 	t.chargeSort(len(kps))
 	t.root = t.build(kps)
 	return t

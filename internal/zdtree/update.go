@@ -15,7 +15,7 @@ func (t *Tree) Insert(points []geom.Point) {
 		return
 	}
 	kps := t.makeKeyed(points)
-	parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+	t.sorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 	t.chargeSort(len(kps))
 	if t.root == nil {
 		t.root = t.build(kps)
@@ -171,7 +171,7 @@ func (t *Tree) Delete(points []geom.Point) {
 		return
 	}
 	kps := t.makeKeyed(points)
-	parallel.SortBy(kps, func(kp keyed) uint64 { return kp.key })
+	t.sorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 	t.chargeSort(len(kps))
 	t.root = t.deleteRec(t.root, kps)
 }
