@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race bench smoke
 
-ci: build vet race
+ci: build vet race smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,18 @@ test:
 
 race:
 	GOMAXPROCS=4 $(GO) test -race ./...
+
+# CLI smoke tests: the trace exporters must emit parseable output
+# (Chrome trace-event JSON with events, and valid JSONL).
+smoke:
+	mkdir -p .smoke
+	$(GO) run ./cmd/pimzd-trace -op search -n 20000 -batch 500 -p 256 \
+		-format chrome -out .smoke/search.trace.json
+	$(GO) run ./tools/checkjson -chrome .smoke/search.trace.json
+	$(GO) run ./cmd/pimzd-trace -op search -n 20000 -batch 500 -p 256 \
+		-format jsonl -out .smoke/search.jsonl
+	$(GO) run ./tools/checkjson -jsonl .smoke/search.jsonl
+	rm -rf .smoke
 
 # Micro-benchmarks of the parallel substrate (sort, semisort, scan).
 bench:

@@ -16,17 +16,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"pimzdtree/internal/bench"
 	"pimzdtree/internal/geom"
+	"pimzdtree/internal/obs"
 	"pimzdtree/internal/workload"
 )
 
 // loadPoints reads a point file, auto-detecting the binary format by its
-// magic and falling back to CSV.
+// magic and falling back to CSV. The magic is read with io.ReadFull: a
+// plain fd.Read may legally return fewer than 5 bytes (short read), which
+// would misclassify a binary file as CSV. Files shorter than the magic
+// (EOF/ErrUnexpectedEOF) fall through to the CSV parser; real I/O errors
+// propagate.
 func loadPoints(path string) ([]geom.Point, error) {
 	fd, err := os.Open(path)
 	if err != nil {
@@ -34,16 +41,43 @@ func loadPoints(path string) ([]geom.Point, error) {
 	}
 	defer fd.Close()
 	var magic [5]byte
-	if _, err := fd.Read(magic[:]); err == nil && string(magic[:]) == "PTS1\n" {
+	_, err = io.ReadFull(fd, magic[:])
+	switch {
+	case err == nil && string(magic[:]) == "PTS1\n":
 		if _, err := fd.Seek(0, 0); err != nil {
 			return nil, err
 		}
 		return workload.ReadPoints(fd)
+	case err != nil && err != io.EOF && err != io.ErrUnexpectedEOF:
+		return nil, err
 	}
 	if _, err := fd.Seek(0, 0); err != nil {
 		return nil, err
 	}
 	return workload.ReadCSV(fd)
+}
+
+// writeTraces exports one experiment's recorded events: Chrome trace-event
+// JSON (Perfetto-loadable) and JSONL (CI-diffable) under dir.
+func writeTraces(dir, id string, rec *obs.Recorder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	export := func(name string, f func(io.Writer) error) error {
+		fd, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := f(fd); err != nil {
+			fd.Close()
+			return err
+		}
+		return fd.Close()
+	}
+	if err := export(id+".trace.json", rec.ExportChrome); err != nil {
+		return err
+	}
+	return export(id+".jsonl", rec.ExportJSONL)
 }
 
 func main() {
@@ -56,8 +90,12 @@ func main() {
 		seed       = flag.Int64("seed", bench.Defaults().Seed, "workload seed")
 		dims       = flag.Int("dims", int(bench.Defaults().Dims), "point dimensionality (2-4)")
 		file       = flag.String("file", "", "run the fig5 operation suite on a point file (binary PTS1 or CSV) instead of a synthetic dataset")
+		traceOut   = flag.String("trace-out", "", "directory for per-experiment traces (<id>.trace.json Chrome format + <id>.jsonl)")
+		traceSmp   = flag.Int("trace-sample", 0, "with -trace-out, snapshot module loads every N rounds (0 = off)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	obs.ServePprof(*pprofAddr)
 
 	p := bench.Params{
 		Seed:     *seed,
@@ -83,6 +121,14 @@ func main() {
 		if !csvMode {
 			fmt.Printf("== %s ==\n", id)
 		}
+		// Each experiment gets a fresh recorder so its trace files stand
+		// alone; with tracing off, p.Obs stays nil and nothing changes.
+		var rec *obs.Recorder
+		if *traceOut != "" {
+			rec = obs.New()
+			rec.SetModuleSampling(*traceSmp)
+		}
+		p.Obs = rec
 		switch id {
 		case "fig5a", "fig5b", "fig5c":
 			ds := map[string]workload.Dataset{
@@ -207,6 +253,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
 		}
+		if rec != nil {
+			if err := writeTraces(*traceOut, id, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if !csvMode {
 			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
@@ -221,6 +273,17 @@ func main() {
 		}
 		p.Dims = pts[0].Dims
 		p.WarmupN = len(pts)
+		if *traceOut != "" {
+			rec := obs.New()
+			rec.SetModuleSampling(*traceSmp)
+			p.Obs = rec
+			defer func() {
+				if err := writeTraces(*traceOut, "custom", rec); err != nil {
+					fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+					os.Exit(1)
+				}
+			}()
+		}
 		rows := bench.Fig5Custom(pts, p)
 		if *format == "csv" {
 			if err := bench.Fig5CSV(os.Stdout, rows); err != nil {

@@ -17,6 +17,7 @@ import (
 	"pimzdtree/internal/core"
 	"pimzdtree/internal/costmodel"
 	"pimzdtree/internal/geom"
+	"pimzdtree/internal/obs"
 	"pimzdtree/internal/stats"
 	"pimzdtree/internal/workload"
 )
@@ -29,8 +30,10 @@ func main() {
 		tuning  = flag.String("tuning", "throughput", "tuning: throughput or skew")
 		dims    = flag.Int("dims", 3, "dimensionality (2-4)")
 		seed    = flag.Int64("seed", 42, "workload seed")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	obs.ServePprof(*pprof)
 
 	var pts = generate(*dataset, *seed, *n, uint8(*dims))
 

@@ -1,22 +1,36 @@
 // Command pimzd-trace executes one batched operation on a PIM-zd-tree with
-// round tracing enabled and dumps the per-round execution profile: active
-// modules, slowest-module cycles, channel bytes, modeled time, and compute
-// utilization. Useful for seeing the BSP structure of each operation (one
-// L1 round for throughput-optimized searches, per-meta-level L2 rounds for
-// the skew-resistant configuration, the link/cache rounds of inserts).
+// hierarchical tracing enabled and exports the execution profile. Three
+// views share the same event stream:
+//
+//   - table (default): the op/phase span tree, the per-round table with
+//     phase attribution, the per-phase CPU/PIM/comm breakdown, and the
+//     named tree counters;
+//   - chrome: Chrome trace-event JSON, loadable in Perfetto
+//     (https://ui.perfetto.dev) or chrome://tracing;
+//   - jsonl: one JSON object per event, suitable for CI diffing (runs are
+//     deterministic, so identical inputs produce byte-identical output).
+//
+// -profile modules adds per-round per-module load snapshots (cycles and
+// bytes p50/p99/max plus an imbalance factor), sampled every -sample
+// rounds.
 //
 // Usage:
 //
 //	pimzd-trace -op knn -n 200000 -batch 5000 -tuning skew
+//	pimzd-trace -op knn -format chrome -out knn.trace.json
+//	pimzd-trace -op search -profile modules -sample 4
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pimzdtree/internal/core"
 	"pimzdtree/internal/costmodel"
+	"pimzdtree/internal/obs"
 	"pimzdtree/internal/workload"
 )
 
@@ -30,8 +44,26 @@ func main() {
 		tuning  = flag.String("tuning", "throughput", "tuning: throughput or skew")
 		k       = flag.Int("k", 10, "k for knn")
 		seed    = flag.Int64("seed", 42, "workload seed")
+		format  = flag.String("format", "table", "output format: table, chrome, jsonl")
+		profile = flag.String("profile", "", "extra profiling: modules (per-round per-module load snapshots)")
+		sample  = flag.Int("sample", 0, "snapshot module loads every N rounds (0 = off; -profile modules defaults it to 1)")
+		out     = flag.String("out", "", "write output to file instead of stdout")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	obs.ServePprof(*pprof)
+
+	if *format != "table" && *format != "chrome" && *format != "jsonl" {
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if *profile != "" && *profile != "modules" {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	if *profile == "modules" && *sample == 0 {
+		*sample = 1
+	}
 
 	var ds workload.Dataset
 	switch *dataset {
@@ -55,7 +87,12 @@ func main() {
 	}
 	tree := core.New(cfg, data)
 
+	// Attach the recorder after the build so the trace covers only the
+	// measured operation (mirroring the metrics reset).
+	rec := obs.New()
+	rec.SetModuleSampling(*sample)
 	tree.System().ResetMetrics()
+	tree.System().SetRecorder(rec)
 	tree.System().EnableTrace(0)
 
 	var elements int
@@ -93,17 +130,56 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("%s over %s (n=%d, batch=%d, P=%d, %v)\n\n",
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		fd, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		defer fd.Close()
+		bw := bufio.NewWriter(fd)
+		defer bw.Flush()
+		w = bw
+	}
+
+	switch *format {
+	case "chrome":
+		if err := rec.ExportChrome(w); err != nil {
+			fmt.Fprintf(os.Stderr, "chrome export: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "jsonl":
+		if err := rec.ExportJSONL(w); err != nil {
+			fmt.Fprintf(os.Stderr, "jsonl export: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Fprintf(w, "%s over %s (n=%d, batch=%d, P=%d, %v)\n\n",
 		*op, *dataset, *n, *batch, *modules, cfg.Tuning)
-	tree.System().WriteTrace(os.Stdout)
+	fmt.Fprintln(w, "spans:")
+	rec.WriteSpanTree(w)
+	fmt.Fprintln(w, "\nrounds:")
+	rec.WriteRounds(w)
+	if *profile == "modules" {
+		fmt.Fprintln(w, "\nmodule load profiles:")
+		rec.WriteModuleProfiles(w)
+	}
+	fmt.Fprintln(w, "\nphase breakdown:")
+	rec.WritePhaseBreakdown(w)
+	fmt.Fprintln(w, "\ncounters:")
+	rec.WriteCounters(w)
 
 	m := tree.System().Metrics()
-	fmt.Printf("\ntotals: %d rounds, %d B to PIM, %d B from PIM, %d elements\n",
+	fmt.Fprintf(w, "\ntotals: %d rounds, %d B to PIM, %d B from PIM, %d elements\n",
 		m.Rounds, m.BytesToPIM, m.BytesFromPIM, elements)
-	fmt.Printf("modeled time: CPU %.1fus + PIM %.1fus + comm %.1fus = %.1fus\n",
+	fmt.Fprintf(w, "modeled time: CPU %.1fus + PIM %.1fus + comm %.1fus = %.1fus\n",
 		m.CPUSeconds*1e6, m.PIMSeconds*1e6, m.CommSeconds*1e6, m.TotalSeconds()*1e6)
 	if m.TotalSeconds() > 0 {
-		fmt.Printf("throughput: %.2f M elements/s\n", float64(elements)/m.TotalSeconds()/1e6)
+		fmt.Fprintf(w, "throughput: %.2f M elements/s\n", float64(elements)/m.TotalSeconds()/1e6)
 	}
 }
 

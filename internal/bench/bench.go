@@ -29,6 +29,7 @@ import (
 	"pimzdtree/internal/costmodel"
 	"pimzdtree/internal/geom"
 	"pimzdtree/internal/memsim"
+	"pimzdtree/internal/obs"
 	"pimzdtree/internal/pim"
 	"pimzdtree/internal/pkdtree"
 	"pimzdtree/internal/workload"
@@ -42,6 +43,11 @@ type Params struct {
 	BatchOps int   // point operations per measured batch
 	Dims     uint8 // point dimensionality
 	P        int   // PIM modules
+
+	// Obs, when non-nil, is attached to every system an experiment builds,
+	// so one run yields the full span/round/counter stream. nil (the
+	// default) keeps experiments exactly as before.
+	Obs *obs.Recorder
 }
 
 // Defaults returns the standard scaled-down parameters.
@@ -135,7 +141,7 @@ func scaledPIMMachine(p Params, rawRounds bool) costmodel.Machine {
 
 // newPIMRunner builds a warmed PIM-zd-tree.
 func newPIMRunner(p Params, tuning core.Tuning, warmup []geom.Point, mutate func(*core.Config)) *pimRunner {
-	cfg := core.Config{Dims: p.Dims, Machine: scaledPIMMachine(p, false), Tuning: tuning}
+	cfg := core.Config{Dims: p.Dims, Machine: scaledPIMMachine(p, false), Tuning: tuning, Obs: p.Obs}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -144,7 +150,7 @@ func newPIMRunner(p Params, tuning core.Tuning, warmup []geom.Point, mutate func
 
 // newRawPIMRunner builds a PIM-zd-tree on the unscaled machine (Fig. 7).
 func newRawPIMRunner(p Params, tuning core.Tuning, warmup []geom.Point) *pimRunner {
-	cfg := core.Config{Dims: p.Dims, Machine: scaledPIMMachine(p, true), Tuning: tuning}
+	cfg := core.Config{Dims: p.Dims, Machine: scaledPIMMachine(p, true), Tuning: tuning, Obs: p.Obs}
 	return &pimRunner{name: "PIM-zd-tree", tree: core.New(cfg, warmup)}
 }
 
@@ -284,7 +290,7 @@ func newZDRunner(p Params, warmup []geom.Point) *cpuRunner {
 	machine := costmodel.BaselineServer()
 	cache := memsim.NewCache(scaledLLC(machine, p.WarmupN), machine.LLCWays)
 	work, chase := new(atomic.Int64), new(atomic.Int64)
-	tree := zdtree.New(zdtree.Config{Dims: p.Dims, Cache: cache, Work: work, Chase: chase}, warmup)
+	tree := zdtree.New(zdtree.Config{Dims: p.Dims, Cache: cache, Work: work, Chase: chase, Obs: p.Obs}, warmup)
 	return &cpuRunner{
 		name:    "zd-tree",
 		machine: machine,
@@ -321,7 +327,7 @@ func newPKDRunner(p Params, warmup []geom.Point) *cpuRunner {
 	machine := costmodel.BaselineServer()
 	cache := memsim.NewCache(scaledLLC(machine, p.WarmupN), machine.LLCWays)
 	work, chase := new(atomic.Int64), new(atomic.Int64)
-	tree := pkdtree.New(pkdtree.Config{Dims: p.Dims, Cache: cache, Work: work, Chase: chase},
+	tree := pkdtree.New(pkdtree.Config{Dims: p.Dims, Cache: cache, Work: work, Chase: chase, Obs: p.Obs},
 		append([]geom.Point(nil), warmup...))
 	return &cpuRunner{
 		name:    "Pkd-tree",

@@ -16,6 +16,9 @@ const boxMsgBytes = 40
 // push-pull over the meta-nodes that intersect each box, with fully
 // contained subtrees answered from the node's exact master size.
 func (t *Tree) BoxCount(boxes []geom.Box) []int64 {
+	rec := t.sys.Recorder()
+	rec.BeginOp("box-count")
+	defer rec.EndOp()
 	counts := make([]int64, len(boxes))
 	t.boxWave(boxes, func(qi int32, size int64) {
 		atomic.AddInt64(&counts[qi], size)
@@ -25,6 +28,9 @@ func (t *Tree) BoxCount(boxes []geom.Box) []int64 {
 
 // BoxFetch returns, for each query box, all stored points inside it.
 func (t *Tree) BoxFetch(boxes []geom.Box) [][]geom.Point {
+	rec := t.sys.Recorder()
+	rec.BeginOp("box-fetch")
+	defer rec.EndOp()
 	out := make([][]geom.Point, len(boxes))
 	collected := make([]fetchSink, len(boxes))
 	t.boxWave(boxes, nil, collected)

@@ -25,6 +25,7 @@ import (
 	"pimzdtree/internal/costmodel"
 	"pimzdtree/internal/geom"
 	"pimzdtree/internal/morton"
+	"pimzdtree/internal/obs"
 	"pimzdtree/internal/parallel"
 	"pimzdtree/internal/pim"
 )
@@ -116,6 +117,11 @@ type Config struct {
 	// CacheBudget bounds the bytes of L0 kept CPU-resident before L0
 	// switches to replicated-on-modules mode (0 = half the machine LLC).
 	CacheBudget int64
+
+	// Obs, when non-nil, receives the hierarchical op/phase/round trace
+	// and the tree-internals counters (see internal/obs). Nil disables
+	// instrumentation at the cost of one pointer test per annotation.
+	Obs *obs.Recorder
 
 	// Ablation switches (Table 3). All default to the full design.
 	DisableLazyCounters bool // propagate counters eagerly on every update
@@ -253,13 +259,21 @@ func New(cfg Config, points []geom.Point) *Tree {
 		chunks: make(map[uint64]*Chunk),
 	}
 	t.sys.DirectAPI = !cfg.DisableDirectAPI
+	t.sys.SetRecorder(cfg.Obs)
+	rec := t.sys.Recorder()
+	rec.BeginOp("build")
 	if len(points) > 0 {
+		rec.BeginPhase("sort")
 		kps := t.makeKeyed(points)
 		t.kpSorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 		t.chargeHostSort(len(kps))
+		rec.EndPhase()
+		rec.BeginPhase("build-logical")
 		t.root = t.buildLogical(kps)
+		rec.EndPhase()
 	}
 	t.relayout()
+	rec.EndOp()
 	return t
 }
 

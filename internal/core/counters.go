@@ -98,6 +98,7 @@ func (t *Tree) applyDelta(n *Node, delta int64, syncBytes map[int]int64) {
 		n.SC = n.Size
 		n.Delta = 0
 		t.counterSyncs += ops
+		t.sys.Recorder().Add("lazy-counter-syncs", ops)
 		return
 	}
 	lo, hi := t.deltaWindow(n)
@@ -141,6 +142,7 @@ func (t *Tree) syncCounter(n *Node, syncBytes map[int]int64) {
 	n.SC = n.Size
 	n.Delta = 0
 	t.counterSyncs++
+	t.sys.Recorder().Add("lazy-counter-syncs", 1)
 	if m := t.moduleOf(n); m >= 0 {
 		syncBytes[m] += counterMsgBytes
 	}

@@ -53,12 +53,17 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 	if t.root == nil || k <= 0 {
 		return out
 	}
+	rec := t.sys.Recorder()
+	rec.BeginOp("knn")
+	defer rec.EndOp()
 	coarse := geom.L1
 	if t.cfg.DisableL1Anchor {
 		coarse = fine
 	}
+	rec.BeginPhase("locate")
 	keys := t.encodeKeys(queries)
 	res := t.searchKeys(keys, searchOpts{kTrack: 2 * k, trace: true})
+	rec.EndPhase()
 
 	// --- Stage A: k coarse candidates from N_q1 (Alg. 3 step 2) ---
 	starts := make([]*Node, len(queries))
@@ -69,12 +74,15 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 			starts[i] = t.root
 		}
 	}
+	rec.BeginPhase("stage-A-candidates")
 	cands := t.collectKCandidates(queries, starts, k, coarse)
+	rec.EndPhase()
 
 	// --- CPU: derive the candidate spheres (step 3 setup) ---
 	// Exact fine-metric distances on the <=k candidates; rF is the k-th
 	// best; the stage-B pruning bound follows from the metric's relation
 	// to the coarse norm.
+	rec.BeginPhase("derive-sphere")
 	rF := make([]uint64, len(queries))
 	var cpuWork int64
 	for i := range queries {
@@ -95,6 +103,7 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 		rF[i] = c[kth-1].Dist
 	}
 	t.sys.CPUPhase(cpuWork, 0, 0)
+	rec.EndPhase()
 
 	// --- Stage B: fetch the sphere contents (steps 3-4) ---
 	// margin is the per-axis half-width that contains the fine-metric
@@ -131,9 +140,12 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 	for i := range queries {
 		startsB[i] = t.lowestEnclosing(res[i].Trace, queries[i], margin[i])
 	}
+	rec.BeginPhase("stage-B-sphere")
 	sphere := t.collectSphere(queries, startsB, coarseBound, coarse)
+	rec.EndPhase()
 
 	// --- Step 5: exact CPU filter ---
+	rec.BeginPhase("final-filter")
 	cpuWork = 0
 	for i := range queries {
 		pts := sphere[i]
@@ -158,6 +170,7 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 		out[i] = ns
 	}
 	t.sys.CPUPhase(cpuWork+int64(len(queries))*int64(k)*costmodel.WorkHeapOp, 0, 0)
+	rec.EndPhase()
 	return out
 }
 

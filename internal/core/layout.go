@@ -95,6 +95,9 @@ func (t *Tree) layerOf(n *Node, parentLayer Layer) Layer {
 // (same ID, same module, no dirty node) cost nothing, so steady-state
 // batches only pay for what they touched.
 func (t *Tree) relayout() {
+	rec := t.sys.Recorder()
+	rec.BeginPhase("relayout")
+	defer rec.EndPhase()
 	t.computeThresholds()
 	old := t.chunks
 	t.chunks = make(map[uint64]*Chunk, len(old))
@@ -146,10 +149,12 @@ func (t *Tree) relayout() {
 		var masterBytes, cacheBytes int64
 		if moved {
 			t.movedChunks++
+			rec.Add("chunk-moves", 1)
 			masterBytes = c.Bytes
 			cacheBytes = int64(c.NodeCount) * nodeBytes
 		} else {
 			t.editedChunks++
+			rec.Add("chunk-edits", 1)
 			masterBytes = deltaMsgBytes
 			cacheBytes = deltaMsgBytes
 		}
@@ -168,6 +173,10 @@ func (t *Tree) relayout() {
 	}
 	t.promotions += promoted
 	t.demotions += demoted
+	if rec.Enabled() {
+		rec.Add("layer-promotions", promoted)
+		rec.Add("layer-demotions", demoted)
+	}
 
 	if anyChange || l0Broadcast > 0 {
 		// Alg. 2 step 3c/3d: two communication rounds apply the cache and
@@ -258,6 +267,7 @@ func (t *Tree) buildChunk(r *Node, parent *Chunk) *Chunk {
 	if inherit >= 0 {
 		if t.rehomeThreshold > 0 && t.sys.Module(inherit).StoredBytes() > t.rehomeThreshold && hashModule != inherit {
 			migrated = true // rehome to the hash target
+			t.sys.Recorder().Add("chunk-migrations", 1)
 		} else {
 			module = inherit
 		}

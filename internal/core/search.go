@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"pimzdtree/internal/geom"
@@ -34,6 +35,9 @@ type searchOpts struct {
 // Search routes a batch of query points to their leaves using the
 // three-phase push-pull search of Alg. 1 and returns one result per query.
 func (t *Tree) Search(points []geom.Point) []SearchResult {
+	rec := t.sys.Recorder()
+	rec.BeginOp("search")
+	defer rec.EndOp()
 	keys := t.encodeKeys(points)
 	return t.searchKeys(keys, searchOpts{})
 }
@@ -41,6 +45,9 @@ func (t *Tree) Search(points []geom.Point) []SearchResult {
 // encodeKeys computes Morton keys on the host, charging the configured
 // z-order encoder's cost.
 func (t *Tree) encodeKeys(points []geom.Point) []uint64 {
+	rec := t.sys.Recorder()
+	rec.BeginPhase("encode-keys")
+	defer rec.EndPhase()
 	if cap(t.keyBuf) < len(points) {
 		t.keyBuf = make([]uint64, len(points))
 	}
@@ -71,15 +78,22 @@ func (t *Tree) searchKeys(keys []uint64, opts searchOpts) []SearchResult {
 	if t.root == nil {
 		return res
 	}
+	rec := t.sys.Recorder()
 
 	// --- Phase 1: L0 ---
+	rec.BeginPhase("L0-descend")
 	frontier := t.searchL0(keys, opts, res)
+	rec.EndPhase()
 
 	// --- Phase 2: L1 pull loop + push ---
+	rec.BeginPhase("L1-route")
 	frontier = t.searchL1(keys, opts, res, frontier)
+	rec.EndPhase()
 
 	// --- Phase 3: L2 push-pull, one round per meta-level ---
+	rec.BeginPhase("L2-descend")
 	t.searchL2(keys, opts, res, frontier)
+	rec.EndPhase()
 	return res
 }
 
@@ -241,8 +255,11 @@ func (t *Tree) groupByChunk(frontier []entry) []chunkGroup {
 	if len(frontier) == 0 {
 		return nil
 	}
+	rec := t.sys.Recorder()
+	rec.BeginPhase("semisort")
 	groups := t.entrySorter.Semisort(frontier, func(e entry) uint64 { return e.node.Chunk.ID })
 	t.sys.CPUPhase(parallel.CountingSortWork(len(frontier)), int64(len(frontier))*8, 0)
+	rec.EndPhase()
 	// The chunkGroup backing is Tree scratch too: callers are done with one
 	// round's groups before they regroup the next frontier.
 	out := t.groupBuf[:0]
@@ -286,49 +303,61 @@ func (t *Tree) searchL1(keys []uint64, opts searchOpts, res []SearchResult, fron
 		appendNext(e.qi, e.node)
 	}
 
+	rec := t.sys.Recorder()
 	kPull := t.pullThresholdL1()
 	for iter := 0; len(frontier) > 0 && iter < 64; iter++ {
-		groups := t.groupByChunk(frontier)
-		loads := t.moduleLoads(groups)
-		if !pim.Imbalanced(loads, t.P()) {
+		if rec.Enabled() {
+			rec.BeginPhase(fmt.Sprintf("L1-pull-%d", iter))
+		}
+		balanced := func() bool {
+			defer rec.EndPhase()
+			groups := t.groupByChunk(frontier)
+			loads := t.moduleLoads(groups)
+			if !pim.Imbalanced(loads, t.P()) {
+				return true
+			}
+			// Alg. 1 step 2a: pull every meta-node holding more than K
+			// queries. If none qualifies, the residual imbalance is from
+			// hash placement (several cool chunks sharing a module), which
+			// pulling cannot fix — push as-is, as the balls-into-bins bound
+			// (Lemma 5.2) licenses.
+			var pulled, rest []chunkGroup
+			for _, g := range groups {
+				if len(g.entries) > kPull {
+					pulled = append(pulled, g)
+				} else {
+					rest = append(rest, g)
+				}
+			}
+			if len(pulled) == 0 {
+				return true
+			}
+			// Collect the pulled queries' next hops separately: they rejoin
+			// the frontier after it is rebuilt from the un-pulled groups.
+			var pulledNext []entry
+			t.pullAndAdvance(keys, opts, res, pulled, func(qi int32, n *Node) {
+				if n.Layer == L2 {
+					l2 = append(l2, entry{qi: qi, node: n})
+				} else {
+					pulledNext = append(pulledNext, entry{qi: qi, node: n})
+				}
+			})
+			frontier = frontier[:0]
+			for _, g := range rest {
+				frontier = append(frontier, g.entries...)
+			}
+			frontier = append(frontier, pulledNext...)
+			return false
+		}()
+		if balanced {
 			break
 		}
-		// Alg. 1 step 2a: pull every meta-node holding more than K
-		// queries. If none qualifies, the residual imbalance is from
-		// hash placement (several cool chunks sharing a module), which
-		// pulling cannot fix — push as-is, as the balls-into-bins bound
-		// (Lemma 5.2) licenses.
-		var pulled, rest []chunkGroup
-		for _, g := range groups {
-			if len(g.entries) > kPull {
-				pulled = append(pulled, g)
-			} else {
-				rest = append(rest, g)
-			}
-		}
-		if len(pulled) == 0 {
-			break
-		}
-		// Collect the pulled queries' next hops separately: they rejoin
-		// the frontier after it is rebuilt from the un-pulled groups.
-		var pulledNext []entry
-		t.pullAndAdvance(keys, opts, res, pulled, func(qi int32, n *Node) {
-			if n.Layer == L2 {
-				l2 = append(l2, entry{qi: qi, node: n})
-			} else {
-				pulledNext = append(pulledNext, entry{qi: qi, node: n})
-			}
-		})
-		frontier = frontier[:0]
-		for _, g := range rest {
-			frontier = append(frontier, g.entries...)
-		}
-		frontier = append(frontier, pulledNext...)
 	}
 
 	if len(frontier) > 0 {
 		// Alg. 1 step 3: push balanced queries; the entry module's L1
 		// caching finishes the whole L1 segment in this single round.
+		rec.BeginPhase("L1-push")
 		groups := t.groupByChunk(frontier)
 		// No clearing needed: every e in groups writes next[e.qi] in the
 		// round before the read below.
@@ -347,15 +376,21 @@ func (t *Tree) searchL1(keys []uint64, opts searchOpts, res []SearchResult, fron
 				appendNext(e.qi, next[e.qi])
 			}
 		}
+		rec.Add("l1-cache-hits", int64(len(frontier)))
+		rec.EndPhase()
 	}
 	return l2
 }
 
 // searchL2 runs Alg. 1 step 4: one push-pull round per L2 meta-level.
 func (t *Tree) searchL2(keys []uint64, opts searchOpts, res []SearchResult, frontier []entry) {
+	rec := t.sys.Recorder()
 	kPull := int(t.chunkB) // K = B
 	nextOf := t.nodeScratch(len(keys))
-	for len(frontier) > 0 {
+	for level := 0; len(frontier) > 0; level++ {
+		if rec.Enabled() {
+			rec.BeginPhase(fmt.Sprintf("L2-level-%d", level))
+		}
 		groups := t.groupByChunk(frontier)
 		var pulled, pushed []chunkGroup
 		for _, g := range groups {
@@ -385,6 +420,7 @@ func (t *Tree) searchL2(keys []uint64, opts searchOpts, res []SearchResult, fron
 				}
 			}
 		}
+		rec.EndPhase()
 	}
 }
 
@@ -421,6 +457,7 @@ func (t *Tree) pullAndAdvance(keys []uint64, opts searchOpts, res []SearchResult
 			}
 		}
 	}
+	t.sys.Recorder().Add("chunk-pulls", int64(len(pulled)))
 	t.sys.CPUPhase(cpuWork, cpuBytes, 0)
 }
 
@@ -495,6 +532,7 @@ func (t *Tree) pullAndAdvanceInRound(keys []uint64, opts searchOpts, res []Searc
 		}
 	}
 	if len(pulled) > 0 {
+		t.sys.Recorder().Add("chunk-pulls", int64(len(pulled)))
 		t.sys.CPUPhase(cpuWork, cpuBytes, 0)
 	}
 }

@@ -49,9 +49,15 @@ func (t *Tree) Insert(points []geom.Point) {
 	if len(points) == 0 {
 		return
 	}
+	rec := t.sys.Recorder()
+	rec.BeginOp("insert")
+	defer rec.EndOp()
+
+	rec.BeginPhase("prepare-batch")
 	kps := t.makeKeyed(points)
 	t.kpSorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 	t.chargeHostSort(len(kps))
+	rec.EndPhase()
 
 	// Step 1: SEARCH(Q) — prices the search rounds and yields the traces.
 	if cap(t.keyBuf) < len(kps) {
@@ -62,11 +68,14 @@ func (t *Tree) Insert(points []geom.Point) {
 		keys[i] = kp.key
 	}
 	if t.root != nil {
+		rec.BeginPhase("pilot-search")
 		t.searchKeys(keys, searchOpts{})
+		rec.EndPhase()
 	}
 
 	st := newUpdateStats()
 	st.ops = int64(len(kps))
+	rec.BeginPhase("merge")
 	if t.root == nil {
 		t.root = t.buildLogical(kps)
 		t.markNew(t.root)
@@ -74,7 +83,10 @@ func (t *Tree) Insert(points []geom.Point) {
 	} else {
 		t.root = t.insertRec(t.root, kps, st)
 	}
+	rec.EndPhase()
+	rec.BeginPhase("update-rounds")
 	t.chargeUpdateRounds(st)
+	rec.EndPhase()
 	t.relayout()
 }
 
@@ -189,6 +201,7 @@ func (t *Tree) insertIntoLeaf(n *Node, kps []keyed, st *updateStats) *Node {
 		// Leaf split: new internal structure (Alg. 2 step 2b/2c).
 		st.newNodes += int64(len(kps)) + 2
 		st.linkBytes[mod] += linkMsgBytes
+		t.sys.Recorder().Add("leaf-splits", 1)
 	}
 	return replacement
 }
@@ -298,9 +311,15 @@ func (t *Tree) Delete(points []geom.Point) {
 	if len(points) == 0 || t.root == nil {
 		return
 	}
+	rec := t.sys.Recorder()
+	rec.BeginOp("delete")
+	defer rec.EndOp()
+
+	rec.BeginPhase("prepare-batch")
 	kps := t.makeKeyed(points)
 	t.kpSorter.SortBy(kps, func(kp keyed) uint64 { return kp.key })
 	t.chargeHostSort(len(kps))
+	rec.EndPhase()
 	if cap(t.keyBuf) < len(kps) {
 		t.keyBuf = make([]uint64, len(kps))
 	}
@@ -308,12 +327,18 @@ func (t *Tree) Delete(points []geom.Point) {
 	for i, kp := range kps {
 		keys[i] = kp.key
 	}
+	rec.BeginPhase("pilot-search")
 	t.searchKeys(keys, searchOpts{})
+	rec.EndPhase()
 
 	st := newUpdateStats()
 	st.ops = int64(len(kps))
+	rec.BeginPhase("merge")
 	t.root = t.deleteRec(t.root, kps, st)
+	rec.EndPhase()
+	rec.BeginPhase("update-rounds")
 	t.chargeUpdateRounds(st)
+	rec.EndPhase()
 	t.relayout()
 }
 
@@ -504,6 +529,9 @@ func (t *Tree) Rebuild() {
 	if t.root == nil {
 		return
 	}
+	rec := t.sys.Recorder()
+	rec.BeginOp("rebuild")
+	defer rec.EndOp()
 	pts := t.Points()
 	// Haul every point up through the channels.
 	total, _ := t.sys.StoredBytesTotal()

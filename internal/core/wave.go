@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"pimzdtree/internal/pim"
@@ -23,7 +24,11 @@ type waveScanFunc func(c *Chunk, e entry, cpuSide bool, exits *[]entry) (work, o
 // afterWave (optional) runs between waves on the collected exits — kNN uses
 // it to tighten bounds and prune — and returns the next frontier.
 func (t *Tree) runPushPullWaves(frontier []entry, msgBytes int64, scan waveScanFunc, afterWave func([]entry) []entry) {
-	for len(frontier) > 0 {
+	rec := t.sys.Recorder()
+	for wave := 0; len(frontier) > 0; wave++ {
+		if rec.Enabled() {
+			rec.BeginPhase(fmt.Sprintf("wave-%d", wave))
+		}
 		groups := t.groupByChunk(frontier)
 		var pulled, pushed []chunkGroup
 		for _, g := range groups {
@@ -96,6 +101,7 @@ func (t *Tree) runPushPullWaves(frontier []entry, msgBytes int64, scan waveScanF
 			}
 		}
 		if len(pulled) > 0 {
+			rec.Add("chunk-pulls", int64(len(pulled)))
 			t.sys.CPUPhase(pullWork, pullBytes, 0)
 		}
 		exitSlots[len(active)] = cpuExits
@@ -106,6 +112,9 @@ func (t *Tree) runPushPullWaves(frontier []entry, msgBytes int64, scan waveScanF
 		}
 		if afterWave != nil {
 			next = afterWave(next)
+		}
+		if rec.Enabled() {
+			rec.EndPhase()
 		}
 		frontier = next
 	}

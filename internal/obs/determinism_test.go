@@ -1,0 +1,84 @@
+package obs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/costmodel"
+	"pimzdtree/internal/obs"
+	"pimzdtree/internal/workload"
+)
+
+// runTraced builds a tree and drives a fixed op sequence with a fresh
+// recorder attached, returning both exports.
+func runTraced(t *testing.T) (jsonl, chrome []byte) {
+	t.Helper()
+	machine := costmodel.UPMEMServer()
+	machine.PIMModules = 128
+
+	pts := workload.Uniform(7, 4000, 3)
+	rec := obs.New()
+	rec.SetModuleSampling(2)
+	tree := core.New(core.Config{
+		Dims:    3,
+		Machine: machine,
+		Tuning:  core.SkewResistant,
+		Obs:     rec,
+	}, pts[:3000])
+
+	tree.Search(pts[:500])
+	tree.Insert(pts[3000:3500])
+	tree.KNN(pts[:100], 4)
+	tree.Delete(pts[:200])
+
+	var jb, cb bytes.Buffer
+	if err := rec.ExportJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.ExportChrome(&cb); err != nil {
+		t.Fatal(err)
+	}
+	return jb.Bytes(), cb.Bytes()
+}
+
+// TestDeterministicExports is the reproducibility gate: two identical runs
+// must produce byte-identical JSONL (the format CI diffs) and Chrome
+// traces. Everything the recorder sees is a modeled quantity, so any
+// divergence means wall-clock or map-order entropy leaked in.
+func TestDeterministicExports(t *testing.T) {
+	j1, c1 := runTraced(t)
+	j2, c2 := runTraced(t)
+	if len(j1) == 0 {
+		t.Fatal("empty JSONL export")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("JSONL exports differ between identical runs:\nrun1 %d bytes, run2 %d bytes\n%s",
+			len(j1), len(j2), firstDiff(j1, j2))
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("Chrome exports differ between identical runs:\n%s", firstDiff(c1, c2))
+	}
+}
+
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 40
+			if hi > n {
+				hi = n
+			}
+			return fmt.Sprintf("first diff at byte %d:\n%s\nvs\n%s", i, a[lo:hi], b[lo:hi])
+		}
+	}
+	return "one export is a prefix of the other"
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+)
+
+// ServePprof starts the Go pprof HTTP endpoint on addr (e.g.
+// "localhost:6060") in a background goroutine — the live Go-level
+// complement to the modeled traces, opt-in from every CLI via -pprof.
+// An empty addr is a no-op.
+func ServePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		}
+	}()
+}

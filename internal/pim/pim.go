@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"pimzdtree/internal/costmodel"
+	"pimzdtree/internal/obs"
 	"pimzdtree/internal/parallel"
 )
 
@@ -116,6 +117,11 @@ type System struct {
 	mu      sync.Mutex
 	metrics Metrics
 	trace   tracer
+
+	// recorder, when non-nil, receives every round and CPU phase (and,
+	// through span annotations made by callers, the op/phase hierarchy).
+	// Set it before issuing rounds; nil costs one pointer test per event.
+	recorder *obs.Recorder
 }
 
 // NewSystem returns a system with machine.PIMModules modules.
@@ -135,6 +141,14 @@ func NewSystem(machine costmodel.Machine) *System {
 
 // P returns the number of PIM modules.
 func (s *System) P() int { return len(s.modules) }
+
+// SetRecorder attaches (or detaches, with nil) the observability recorder.
+// Attach before issuing rounds; the pointer is read without locking.
+func (s *System) SetRecorder(r *obs.Recorder) { s.recorder = r }
+
+// Recorder returns the attached recorder (nil when tracing is disabled;
+// obs.Recorder methods are nil-safe, so callers may use it directly).
+func (s *System) Recorder() *obs.Recorder { return s.recorder }
 
 // Module returns module id. The caller must only touch it inside the
 // module's own round handler or between rounds.
@@ -176,6 +190,7 @@ func (s *System) Round(active []int, handler func(m *Module)) RoundStats {
 	}
 	bytes := st.BytesToPIM + st.BytesFromPIM
 	st.Seconds = s.Machine.PIMRound(st.MaxCycles, bytes, st.ActiveModules, s.DirectAPI)
+	pimSec := float64(st.MaxCycles) / (s.Machine.PIMHz * s.Machine.PIMIPC)
 
 	s.mu.Lock()
 	s.metrics.Rounds++
@@ -183,10 +198,31 @@ func (s *System) Round(active []int, handler func(m *Module)) RoundStats {
 	s.metrics.BytesFromPIM += st.BytesFromPIM
 	s.metrics.PIMCycleSum += st.MaxCycles
 	s.metrics.PIMCycleTotal += st.TotalCycles
-	s.metrics.PIMSeconds += float64(st.MaxCycles) / (s.Machine.PIMHz * s.Machine.PIMIPC)
-	s.metrics.CommSeconds += st.Seconds - float64(st.MaxCycles)/(s.Machine.PIMHz*s.Machine.PIMIPC)
+	s.metrics.PIMSeconds += pimSec
+	s.metrics.CommSeconds += st.Seconds - pimSec
 	s.mu.Unlock()
 	s.recordTrace(st)
+	if rec := s.recorder; rec.Enabled() {
+		rec.RecordRound(obs.RoundInfo{
+			ActiveModules: st.ActiveModules,
+			MaxCycles:     st.MaxCycles,
+			TotalCycles:   st.TotalCycles,
+			BytesToPIM:    st.BytesToPIM,
+			BytesFromPIM:  st.BytesFromPIM,
+			Seconds:       st.Seconds,
+		}, pimSec, st.Seconds-pimSec, func() (cycles, byteLoads []int64) {
+			// Modules are quiescent between rounds; the closure runs only
+			// for sampled rounds, so unsampled rounds never pay the copy.
+			cycles = make([]int64, len(active))
+			byteLoads = make([]int64, len(active))
+			for i, id := range active {
+				m := s.modules[id]
+				cycles[i] = m.cycles
+				byteLoads[i] = m.recvBytes + m.sendBytes
+			}
+			return cycles, byteLoads
+		})
+	}
 	return st
 }
 
@@ -215,6 +251,9 @@ func (s *System) CPUPhase(work, traffic, chase int64) {
 	s.metrics.CPUChase += chase
 	s.metrics.CPUSeconds += sec
 	s.mu.Unlock()
+	if rec := s.recorder; rec.Enabled() {
+		rec.RecordCPUPhase(obs.CPUInfo{Work: work, Traffic: traffic, Chase: chase, Seconds: sec})
+	}
 }
 
 // Metrics returns a snapshot of the accumulated metrics.

@@ -26,12 +26,16 @@ func (e TraceEntry) Utilization() float64 {
 	return float64(e.TotalCycles) / (float64(e.MaxCycles) * float64(e.ActiveModules))
 }
 
-// tracer captures round history when enabled.
+// tracer captures round history when enabled. With a limit, entries form
+// a wrapping ring: start indexes the oldest entry once the ring is full,
+// so appends are O(1) instead of the O(n) shift a sliding copy would pay
+// on every round past the limit.
 type tracer struct {
 	mu      sync.Mutex
 	enabled bool
 	seq     int64
 	entries []TraceEntry
+	start   int
 	limit   int
 }
 
@@ -44,6 +48,7 @@ func (s *System) EnableTrace(limit int) {
 	s.trace.enabled = true
 	s.trace.limit = limit
 	s.trace.entries = nil
+	s.trace.start = 0
 	s.trace.seq = 0
 }
 
@@ -54,11 +59,13 @@ func (s *System) DisableTrace() {
 	s.trace.enabled = false
 }
 
-// Trace returns a copy of the recorded rounds.
+// Trace returns a copy of the recorded rounds in execution order.
 func (s *System) Trace() []TraceEntry {
 	s.trace.mu.Lock()
 	defer s.trace.mu.Unlock()
-	return append([]TraceEntry(nil), s.trace.entries...)
+	out := make([]TraceEntry, 0, len(s.trace.entries))
+	out = append(out, s.trace.entries[s.trace.start:]...)
+	return append(out, s.trace.entries[:s.trace.start]...)
 }
 
 // recordTrace appends a round to the trace if enabled.
@@ -79,8 +86,12 @@ func (s *System) recordTrace(st RoundStats) {
 		Seconds:       st.Seconds,
 	}
 	if s.trace.limit > 0 && len(s.trace.entries) >= s.trace.limit {
-		copy(s.trace.entries, s.trace.entries[1:])
-		s.trace.entries[len(s.trace.entries)-1] = e
+		// Ring overwrite: replace the oldest entry and advance the head.
+		s.trace.entries[s.trace.start] = e
+		s.trace.start++
+		if s.trace.start == len(s.trace.entries) {
+			s.trace.start = 0
+		}
 		return
 	}
 	s.trace.entries = append(s.trace.entries, e)

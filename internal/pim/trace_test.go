@@ -1,0 +1,106 @@
+package pim
+
+import (
+	"testing"
+
+	"pimzdtree/internal/costmodel"
+)
+
+func traceTestSystem(p int) *System {
+	machine := costmodel.UPMEMServer()
+	machine.PIMModules = p
+	return NewSystem(machine)
+}
+
+func TestTraceUtilizationEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		e    TraceEntry
+		want float64
+	}{
+		{"zero max cycles", TraceEntry{ActiveModules: 4, MaxCycles: 0, TotalCycles: 0}, 0},
+		{"zero modules", TraceEntry{ActiveModules: 0, MaxCycles: 10, TotalCycles: 10}, 0},
+		{"both zero", TraceEntry{}, 0},
+		{"perfect balance", TraceEntry{ActiveModules: 2, MaxCycles: 5, TotalCycles: 10}, 1},
+		{"single module", TraceEntry{ActiveModules: 1, MaxCycles: 7, TotalCycles: 7}, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.e.Utilization(); got != tc.want {
+			t.Errorf("%s: utilization = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTraceRingKeepsNewestInOrder(t *testing.T) {
+	s := traceTestSystem(4)
+	const limit, rounds = 5, 17
+	s.EnableTrace(limit)
+	for i := 0; i < rounds; i++ {
+		work := int64(i)
+		s.Round([]int{0}, func(m *Module) { m.Work(work) })
+	}
+	tr := s.Trace()
+	if len(tr) != limit {
+		t.Fatalf("trace has %d entries, want %d", len(tr), limit)
+	}
+	// The ring must retain exactly the newest `limit` rounds, in
+	// execution order, across several wrap-arounds.
+	for i, e := range tr {
+		wantSeq := int64(rounds - limit + 1 + i)
+		if e.Seq != wantSeq {
+			t.Fatalf("entry %d seq = %d, want %d (trace %+v)", i, e.Seq, wantSeq, tr)
+		}
+		if e.MaxCycles != wantSeq-1 {
+			t.Fatalf("entry %d cycles = %d, want %d", i, e.MaxCycles, wantSeq-1)
+		}
+	}
+}
+
+func TestTraceRingExactlyFull(t *testing.T) {
+	// Filling to exactly the limit must not drop or reorder anything.
+	s := traceTestSystem(4)
+	s.EnableTrace(3)
+	for i := 0; i < 3; i++ {
+		s.Round([]int{0}, func(m *Module) { m.Work(1) })
+	}
+	tr := s.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace has %d entries, want 3", len(tr))
+	}
+	for i, e := range tr {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("entry %d seq = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestTraceReenableResetsRing(t *testing.T) {
+	s := traceTestSystem(4)
+	s.EnableTrace(2)
+	for i := 0; i < 5; i++ {
+		s.Round([]int{0}, func(m *Module) {})
+	}
+	s.EnableTrace(3) // re-enable: fresh ring, fresh sequence
+	s.Round([]int{0}, func(m *Module) {})
+	tr := s.Trace()
+	if len(tr) != 1 || tr[0].Seq != 1 {
+		t.Fatalf("after re-enable trace = %+v", tr)
+	}
+}
+
+func TestTraceUnlimitedKeepsAll(t *testing.T) {
+	s := traceTestSystem(4)
+	s.EnableTrace(0)
+	for i := 0; i < 50; i++ {
+		s.Round([]int{0}, func(m *Module) {})
+	}
+	tr := s.Trace()
+	if len(tr) != 50 {
+		t.Fatalf("trace has %d entries, want 50", len(tr))
+	}
+	for i, e := range tr {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("entry %d seq = %d", i, e.Seq)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"pimzdtree/internal/geom"
 	"pimzdtree/internal/memsim"
+	"pimzdtree/internal/obs"
 	"pimzdtree/internal/parallel"
 )
 
@@ -47,6 +48,11 @@ type Config struct {
 	Alloc *memsim.Allocator
 	Work  *atomic.Int64
 	Chase *atomic.Int64
+
+	// Obs, when non-nil, receives one op span per batch operation carrying
+	// the operation's work/traffic/chase deltas (the shared-memory analogue
+	// of the PIM tree's phase decomposition).
+	Obs *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -99,9 +105,34 @@ func New(cfg Config, points []geom.Point) *Tree {
 		}
 	})
 	if len(points) > 0 {
+		defer t.beginOp("build")()
 		t.root = t.build(points)
 	}
 	return t
+}
+
+// beginOp opens an obs span for one batch operation and returns its closer.
+// The closer records the op's work/traffic/chase deltas as a single CPU
+// event before ending the span, so exports show what each batch cost even
+// though the shared-memory baselines model no seconds.
+func (t *Tree) beginOp(name string) func() {
+	rec := t.cfg.Obs
+	if !rec.Enabled() {
+		return func() {}
+	}
+	snapshot := func() (w, d, c int64) {
+		if t.cfg.Cache != nil {
+			d = t.cfg.Cache.Stats().DRAMBytes()
+		}
+		return t.cfg.Work.Load(), d, t.cfg.Chase.Load()
+	}
+	w0, d0, c0 := snapshot()
+	rec.BeginOp(name)
+	return func() {
+		w1, d1, c1 := snapshot()
+		rec.RecordCPUPhase(obs.CPUInfo{Work: w1 - w0, Traffic: d1 - d0, Chase: c1 - c0})
+		rec.EndOp()
+	}
 }
 
 // build constructs a weight-balanced subtree over pts, reordering it.

@@ -73,6 +73,7 @@ func (t *Tree) knnRec(n *node, q geom.Point, k int, metric geom.Metric, h *neigh
 
 // KNNBatch answers a batch of kNN queries in parallel.
 func (t *Tree) KNNBatch(qs []geom.Point, k int, metric geom.Metric) [][]Neighbor {
+	defer t.beginOp("knn")()
 	out := make([][]Neighbor, len(qs))
 	parallel.For(len(qs), func(i int) {
 		out[i] = t.KNN(qs[i], k, metric)
@@ -152,6 +153,7 @@ func (t *Tree) boxFetchRec(n *node, box geom.Box, out *[]geom.Point) {
 
 // BoxCountBatch answers count queries in parallel.
 func (t *Tree) BoxCountBatch(boxes []geom.Box) []int {
+	defer t.beginOp("box-count")()
 	out := make([]int, len(boxes))
 	parallel.For(len(boxes), func(i int) {
 		out[i] = t.BoxCount(boxes[i])
@@ -161,6 +163,7 @@ func (t *Tree) BoxCountBatch(boxes []geom.Box) []int {
 
 // BoxFetchBatch answers fetch queries in parallel.
 func (t *Tree) BoxFetchBatch(boxes []geom.Box) [][]geom.Point {
+	defer t.beginOp("box-fetch")()
 	out := make([][]geom.Point, len(boxes))
 	parallel.For(len(boxes), func(i int) {
 		out[i] = t.BoxFetch(boxes[i])

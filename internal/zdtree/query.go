@@ -82,6 +82,7 @@ func (t *Tree) knnRec(n *node, q geom.Point, k int, metric geom.Metric, h *neigh
 
 // KNNBatch answers a batch of kNN queries in parallel.
 func (t *Tree) KNNBatch(qs []geom.Point, k int, metric geom.Metric) [][]Neighbor {
+	defer t.beginOp("knn")()
 	out := make([][]Neighbor, len(qs))
 	parallel.For(len(qs), func(i int) {
 		out[i] = t.KNN(qs[i], k, metric)
@@ -158,6 +159,7 @@ func (t *Tree) boxFetchRec(n *node, box geom.Box, out *[]geom.Point) {
 
 // BoxCountBatch answers a batch of count queries in parallel.
 func (t *Tree) BoxCountBatch(boxes []geom.Box) []int {
+	defer t.beginOp("box-count")()
 	out := make([]int, len(boxes))
 	parallel.For(len(boxes), func(i int) {
 		out[i] = t.BoxCount(boxes[i])
@@ -167,6 +169,7 @@ func (t *Tree) BoxCountBatch(boxes []geom.Box) []int {
 
 // BoxFetchBatch answers a batch of fetch queries in parallel.
 func (t *Tree) BoxFetchBatch(boxes []geom.Box) [][]geom.Point {
+	defer t.beginOp("box-fetch")()
 	out := make([][]geom.Point, len(boxes))
 	parallel.For(len(boxes), func(i int) {
 		out[i] = t.BoxFetch(boxes[i])

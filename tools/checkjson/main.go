@@ -1,0 +1,86 @@
+// Command checkjson validates trace exports in CI. Two modes:
+//
+//	checkjson -chrome file.json   # Chrome trace-event JSON: must parse and
+//	                              # contain a non-empty traceEvents array
+//	checkjson -jsonl file.jsonl   # JSONL: every line must be valid JSON
+//
+// Exit status 0 on success; 1 with a diagnostic on the first violation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		chrome = flag.String("chrome", "", "validate a Chrome trace-event JSON file")
+		jsonl  = flag.String("jsonl", "", "validate a JSONL file line by line")
+	)
+	flag.Parse()
+	switch {
+	case *chrome != "":
+		if err := checkChrome(*chrome); err != nil {
+			fail(*chrome, err)
+		}
+	case *jsonl != "":
+		if err := checkJSONL(*jsonl); err != nil {
+			fail(*jsonl, err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl")
+		os.Exit(2)
+	}
+}
+
+func fail(path string, err error) {
+	fmt.Fprintf(os.Stderr, "checkjson: %s: %v\n", path, err)
+	os.Exit(1)
+}
+
+func checkChrome(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("empty traceEvents array")
+	}
+	return nil
+}
+
+func checkJSONL(path string) error {
+	fd, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	sc := bufio.NewScanner(fd)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		if !json.Valid(sc.Bytes()) {
+			return fmt.Errorf("line %d: invalid JSON", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if line == 0 {
+		return fmt.Errorf("empty file")
+	}
+	return nil
+}
