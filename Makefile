@@ -2,12 +2,13 @@
 #
 # `make ci` is the gate: build, vet, then the full test suite under the
 # race detector with GOMAXPROCS=4 so the parallel sort/semisort/scan paths
-# actually run multi-worker (a 1-core CI would otherwise never exercise
-# them).
+# — and the parallel pulled-chunk wave scans (TestPulledScanMultiWorker's
+# seeded skewed batch) — actually run multi-worker (a 1-core CI would
+# otherwise never exercise them).
 
 GO ?= go
 
-.PHONY: ci build vet test race bench smoke
+.PHONY: ci build vet test race bench bench-json smoke
 
 ci: build vet race smoke
 
@@ -33,8 +34,24 @@ smoke:
 	$(GO) run ./cmd/pimzd-trace -op search -n 20000 -batch 500 -p 256 \
 		-format jsonl -out .smoke/search.jsonl
 	$(GO) run ./tools/checkjson -jsonl .smoke/search.jsonl
+	$(GO) run ./cmd/pimzd-bench -experiment fig5a,table2 -format csv \
+		-warmup 20000 -batch 2000 -p 256 -bench-json .smoke/bench.json \
+		> /dev/null
+	$(GO) run ./tools/checkjson -bench .smoke/bench.json
 	rm -rf .smoke
 
 # Micro-benchmarks of the parallel substrate (sort, semisort, scan).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSortKeys$$|BenchmarkSortBy|BenchmarkSemisort|BenchmarkExclusiveScan$$' -benchmem ./internal/parallel/
+
+# End-to-end harness perf trajectory: wall-clock seconds and MOp/s per
+# figure panel at the standard scaled-down experiment size, written to
+# BENCH_<n>.json so performance PRs can diff the simulator's own speed.
+# (The experiment CSVs are modeled time and stay byte-identical; this file
+# is the wall-clock that changes.)
+bench-json:
+	$(GO) run ./cmd/pimzd-bench \
+		-experiment fig5a,fig5c,fig6,fig7,fig8,fig9,table2,table3,latency \
+		-format csv -warmup 30000 -batch 3000 -p 256 \
+		-bench-json BENCH_3.json > /dev/null
+	$(GO) run ./tools/checkjson -bench BENCH_3.json

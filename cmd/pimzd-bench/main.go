@@ -92,6 +92,7 @@ func main() {
 		file       = flag.String("file", "", "run the fig5 operation suite on a point file (binary PTS1 or CSV) instead of a synthetic dataset")
 		traceOut   = flag.String("trace-out", "", "directory for per-experiment traces (<id>.trace.json Chrome format + <id>.jsonl)")
 		traceSmp   = flag.Int("trace-sample", 0, "with -trace-out, snapshot module loads every N rounds (0 = off)")
+		benchJSON  = flag.String("bench-json", "", "write per-experiment harness wall-clock and MOp/s to this JSON file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -116,8 +117,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	// Harness perf trajectory: wall-clock seconds and executed-op
+	// throughput per panel, written as JSON so perf PRs can diff the
+	// simulator's own speed separately from the (byte-stable) modeled CSVs.
+	var perf *bench.PerfReport
+	if *benchJSON != "" {
+		perf = &bench.PerfReport{
+			WarmupN:  p.WarmupN,
+			BatchOps: p.BatchOps,
+			P:        p.P,
+			Traced:   *traceOut != "",
+		}
+	}
+	flushPerf := func() {
+		if perf == nil {
+			return
+		}
+		fd, err := os.Create(*benchJSON)
+		if err == nil {
+			err = perf.WriteJSON(fd)
+			if cerr := fd.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	run := func(id string) {
 		start := time.Now()
+		bench.ResetOpsCount()
 		if !csvMode {
 			fmt.Printf("== %s ==\n", id)
 		}
@@ -259,6 +291,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if perf != nil {
+			perf.AddPanel(id, time.Since(start).Seconds(), bench.OpsCount())
+		}
 		if !csvMode {
 			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
@@ -284,6 +319,8 @@ func main() {
 				}
 			}()
 		}
+		start := time.Now()
+		bench.ResetOpsCount()
 		rows := bench.Fig5Custom(pts, p)
 		if *format == "csv" {
 			if err := bench.Fig5CSV(os.Stdout, rows); err != nil {
@@ -295,6 +332,10 @@ func main() {
 				*file, len(pts), pts[0].Dims, workload.Gini(pts, 2048))
 			bench.RenderFig5Custom(os.Stdout, rows)
 		}
+		if perf != nil {
+			perf.AddPanel("custom", time.Since(start).Seconds(), bench.OpsCount())
+		}
+		flushPerf()
 		return
 	}
 
@@ -306,9 +347,11 @@ func main() {
 		} {
 			run(id)
 		}
+		flushPerf()
 		return
 	}
 	for _, id := range strings.Split(*experiment, ",") {
 		run(strings.TrimSpace(id))
 	}
+	flushPerf()
 }

@@ -159,6 +159,7 @@ func (r *pimRunner) Name() string { return r.name }
 func (r *pimRunner) measure(elements func() int) OpCost {
 	before := r.tree.System().Metrics()
 	n := elements()
+	countOps(n)
 	delta := r.tree.System().Metrics().Sub(before)
 	return OpCost{
 		Elements: n,
@@ -174,6 +175,7 @@ func (r *pimRunner) measure(elements func() int) OpCost {
 func (r *pimRunner) measureBreakdown(elements func() int) (OpCost, pim.Metrics) {
 	before := r.tree.System().Metrics()
 	n := elements()
+	countOps(n)
 	delta := r.tree.System().Metrics().Sub(before)
 	return OpCost{Elements: n, Seconds: delta.TotalSeconds(), BusBytes: delta.BusBytes()}, delta
 }
@@ -236,6 +238,7 @@ func (r *cpuRunner) Name() string { return r.name }
 func (r *cpuRunner) measure(elements func() int) OpCost {
 	w0, c0, s0 := r.work.Load(), r.chase.Load(), r.cache.Stats()
 	n := elements()
+	countOps(n)
 	w1, c1, s1 := r.work.Load(), r.chase.Load(), r.cache.Stats()
 	traffic := s1.DRAMBytes() - s0.DRAMBytes()
 	secs := r.machine.CPUPhase(w1-w0, traffic, c1-c0)

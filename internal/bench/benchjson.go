@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Harness wall-clock reporting. The experiment CSVs record *modeled* PIM
+// time and must stay byte-stable across refactors; how fast the simulator
+// itself grinds through a panel is a separate trajectory, tracked here so
+// performance PRs can diff it (BENCH_<n>.json at the repo root).
+//
+// opsExecuted counts the elements produced by every measured batch since
+// the last ResetOpsCount, giving each panel a simulator-throughput figure
+// (MOp/s of executed point operations per wall-clock second). Experiments
+// run serially in the bench CLI, so the counter is unsynchronized.
+var opsExecuted int64
+
+func countOps(n int) { opsExecuted += int64(n) }
+
+// ResetOpsCount zeroes the executed-operation counter.
+func ResetOpsCount() { opsExecuted = 0 }
+
+// OpsCount returns the operations executed since the last reset.
+func OpsCount() int64 { return opsExecuted }
+
+// PanelPerf is the harness cost of one experiment panel.
+type PanelPerf struct {
+	Experiment string  `json:"experiment"`
+	Seconds    float64 `json:"seconds"`
+	Ops        int64   `json:"ops"`
+	MOpsPerSec float64 `json:"mops_per_sec"`
+}
+
+// PerfReport is the whole run: per-panel wall clock plus the parameters
+// that scale it.
+type PerfReport struct {
+	WarmupN      int         `json:"warmup_n"`
+	BatchOps     int         `json:"batch_ops"`
+	P            int         `json:"p"`
+	Traced       bool        `json:"traced"`
+	Panels       []PanelPerf `json:"panels"`
+	TotalSeconds float64     `json:"total_seconds"`
+}
+
+// AddPanel records one finished panel, deriving MOp/s when any operations
+// were counted (panels that only build or inspect report 0).
+func (r *PerfReport) AddPanel(id string, seconds float64, ops int64) {
+	p := PanelPerf{Experiment: id, Seconds: seconds, Ops: ops}
+	if ops > 0 && seconds > 0 {
+		p.MOpsPerSec = float64(ops) / seconds / 1e6
+	}
+	r.Panels = append(r.Panels, p)
+	r.TotalSeconds += seconds
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

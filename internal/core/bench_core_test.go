@@ -71,6 +71,35 @@ func BenchmarkBoxCount(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchWaves and BenchmarkKNNWaves isolate the steady-state wave
+// engine: the tree and batch are fixed and the scratch is warmed before the
+// timer, so ns/op and allocs/op (-benchmem) track the CSR router's routing
+// cost and scratch reuse rather than tree construction.
+
+func BenchmarkSearchWaves(b *testing.B) {
+	tr, rng := benchTree(b, ThroughputOptimized, 100_000)
+	qs := randPoints(rng, 10_000, 3, 1<<20)
+	tr.Search(qs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(qs)
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds()/1e6, "wallclock-Mq/s")
+}
+
+func BenchmarkKNNWaves(b *testing.B) {
+	tr, rng := benchTree(b, ThroughputOptimized, 100_000)
+	qs := randPoints(rng, 1_000, 3, 1<<20)
+	tr.KNN(qs, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(qs, 10)
+	}
+	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds()/1e6, "wallclock-Mq/s")
+}
+
 func BenchmarkRelayout(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	tr := New(testConfig(SkewResistant), randPoints(rng, 200_000, 3, 1<<20))

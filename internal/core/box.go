@@ -74,18 +74,19 @@ func (t *Tree) boxWave(boxes []geom.Box, onSize func(int32, int64), collected []
 	}
 
 	// CPU phase: expand the L0 region of each query.
-	var frontier []entry
+	frontier := t.frontierBuf[:0]
 	var cpuWork int64
 	for i := range boxes {
 		cpuWork += t.expandL0Box(int32(i), t.root, boxes[i], fetch, add, addPoint, &frontier)
 	}
+	t.frontierBuf = frontier
 	t.sys.CPUPhase(cpuWork, 0, 0)
 
 	// Push-pull waves over chunk entries, one meta-level per round.
-	scan := func(c *Chunk, e entry, cpuSide bool, exits *[]entry) (int64, int64) {
+	scan := func(c *Chunk, e entry, cpuSide bool, worker, gi int, exits *[]entry) (int64, int64) {
 		return t.boxChunkScan(c, e, boxes[e.qi], fetch, add, addPoint, exits)
 	}
-	t.runPushPullWaves(frontier, boxMsgBytes, scan, nil)
+	t.runPushPullWaves(frontier, boxMsgBytes, scan, nil, nil)
 }
 
 // expandL0Box expands one query through the CPU-resident L0 region.

@@ -246,7 +246,17 @@ type Tree struct {
 	nodeBuf     []*Node
 	groupBuf    []chunkGroup
 	keyBuf      []uint64
-	loadBuf     map[int]int
+	loadBuf     []int
+
+	// router is the flat CSR routing scratch behind every push-pull round
+	// (see router.go); the remaining buffers back the dense per-module
+	// accounting that replaced the old per-batch maps.
+	router      waveRouter
+	knnFoundBuf [][]knnFound
+	knnCandBuf  []candState
+	activeBuf   []int
+	upStats     updateStats
+	moveBuf     []int64
 }
 
 // New builds a PIM-zd-tree over points (may be empty).

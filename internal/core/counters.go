@@ -81,8 +81,8 @@ func (t *Tree) replicaCount(n *Node) int64 {
 // applyDelta records a subtree-size change of delta at node n, updating the
 // exact master count immediately and the lazy snapshot when the window is
 // exceeded (or on every change when lazy counters are ablated). Snapshot
-// propagation traffic is accumulated into syncBytes per target module.
-func (t *Tree) applyDelta(n *Node, delta int64, syncBytes map[int]int64) {
+// propagation traffic is accumulated into syncBytes, dense per module.
+func (t *Tree) applyDelta(n *Node, delta int64, syncBytes []int64) {
 	n.Size += delta
 	n.Delta += delta
 	if t.cfg.DisableLazyCounters {
@@ -109,7 +109,7 @@ func (t *Tree) applyDelta(n *Node, delta int64, syncBytes map[int]int64) {
 
 // chargeCounterMessages accumulates `count` counter messages to n's master
 // module and each replica holder.
-func (t *Tree) chargeCounterMessages(n *Node, count int64, syncBytes map[int]int64) {
+func (t *Tree) chargeCounterMessages(n *Node, count int64, syncBytes []int64) {
 	if m := t.moduleOf(n); m >= 0 {
 		syncBytes[m] += counterMsgBytes * count
 	}
@@ -135,7 +135,7 @@ func (t *Tree) chargeCounterMessages(n *Node, count int64, syncBytes map[int]int
 // master's counter current requires a message to its own module — the
 // cost strict consistency pays on every update and lazy counters pay only
 // on window overflow (the Table 3 "Lazy Counter" ablation).
-func (t *Tree) syncCounter(n *Node, syncBytes map[int]int64) {
+func (t *Tree) syncCounter(n *Node, syncBytes []int64) {
 	if n.Delta == 0 && n.SC == n.Size {
 		return
 	}

@@ -90,7 +90,7 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 		for j := range c {
 			c[j].Dist = fine.Dist(c[j].Point, queries[i])
 		}
-		sort.Slice(c, func(a, b int) bool { return c[a].Dist < c[b].Dist })
+		sort.Sort(neighborsByDist(c))
 		cpuWork += int64(len(c)) * int64(t.cfg.Dims+4)
 		if len(c) == 0 {
 			rF[i] = 0
@@ -157,12 +157,7 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 		// Candidates from stage A are sphere members too; merging them
 		// costs nothing extra and covers the k < |tree| < sphere edge.
 		ns = append(ns, cands[i]...)
-		sort.Slice(ns, func(a, b int) bool {
-			if ns[a].Dist != ns[b].Dist {
-				return ns[a].Dist < ns[b].Dist
-			}
-			return lessPoint(ns[a].Point, ns[b].Point)
-		})
+		sort.Sort(neighborsByDistPoint(ns))
 		ns = dedupeNeighbors(ns)
 		if len(ns) > k {
 			ns = ns[:k]
@@ -172,6 +167,29 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 	t.sys.CPUPhase(cpuWork+int64(len(queries))*int64(k)*costmodel.WorkHeapOp, 0, 0)
 	rec.EndPhase()
 	return out
+}
+
+// Typed sort orders: per-query sorts run twice per kNN query, and the
+// reflect-based sort.Slice costs several allocations per call. The
+// derive-sphere sort needs only the k-th distance value, which is
+// tie-order-independent; the final filter's order is total up to exact
+// duplicates, which dedupeNeighbors removes.
+
+type neighborsByDist []Neighbor
+
+func (s neighborsByDist) Len() int           { return len(s) }
+func (s neighborsByDist) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s neighborsByDist) Less(i, j int) bool { return s[i].Dist < s[j].Dist }
+
+type neighborsByDistPoint []Neighbor
+
+func (s neighborsByDistPoint) Len() int      { return len(s) }
+func (s neighborsByDistPoint) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s neighborsByDistPoint) Less(i, j int) bool {
+	if s[i].Dist != s[j].Dist {
+		return s[i].Dist < s[j].Dist
+	}
+	return lessPoint(s[i].Point, s[j].Point)
 }
 
 func lessPoint(a, b geom.Point) bool {
@@ -233,6 +251,16 @@ func newCandState(k int) *candState {
 	return &candState{best: make([]Neighbor, 0, k), bound: math.MaxUint64}
 }
 
+// reset prepares a reused candState for one chunk scan, seeding it with
+// the query's shipped bound.
+func (cs *candState) reset(bound uint64) {
+	cs.best = cs.best[:0]
+	cs.bound = math.MaxUint64
+	if bound != math.MaxUint64 {
+		cs.bound = bound
+	}
+}
+
 func (cs *candState) add(p geom.Point, d uint64, k int) {
 	if d >= cs.bound {
 		return
@@ -258,11 +286,12 @@ func (t *Tree) collectKCandidates(queries []geom.Point, starts []*Node, k int, c
 		states[i] = newCandState(k)
 	}
 	// Expand the CPU-resident L0 prefix of each start node.
-	var frontier []entry
+	frontier := t.frontierBuf[:0]
 	var cpuWork int64
 	for i := range queries {
 		cpuWork += t.expandL0KNN(int32(i), starts[i], queries[i], states[i], k, coarse, &frontier)
 	}
+	t.frontierBuf = frontier
 	t.sys.CPUPhase(cpuWork, 0, 0)
 
 	// Bounds are snapshotted per wave: modules prune against the bound
@@ -275,30 +304,31 @@ func (t *Tree) collectKCandidates(queries []geom.Point, starts []*Node, k int, c
 	}
 	refreshBounds()
 
-	var mu sync.Mutex
-	var found []knnFound
-	scan := func(c *Chunk, e entry, cpuSide bool, exits *[]entry) (int64, int64) {
-		var o knnWaveOut
-		work, outBytes := t.knnChunkScan(c, e, queries[e.qi], bounds[e.qi], k, coarse, &o)
+	// Candidates land in per-group slots (indexed by the wave's gi) and
+	// merge in gi order, so the fold into the per-query sets — and with it
+	// every bound, and every downstream modeled cost — is identical no
+	// matter how the groups were scheduled across modules and host workers.
+	prep := func(nGroups, nWorkers int) { t.ensureKNNWaveScratch(nGroups, nWorkers) }
+	scan := func(c *Chunk, e entry, cpuSide bool, worker, gi int, exits *[]entry) (int64, int64) {
+		local := &t.knnCandBuf[worker]
+		local.reset(bounds[e.qi])
+		work, outBytes := t.knnChunkScan(c, e, queries[e.qi], local, k, coarse, exits, &t.knnFoundBuf[gi])
 		if cpuSide {
 			// Host multiplies are pipelined; rebate the PIM premium.
 			work /= 4
 		}
-		mu.Lock()
-		found = append(found, o.found...)
-		mu.Unlock()
-		*exits = append(*exits, o.exits...)
 		return work, outBytes
 	}
 	afterWave := func(exits []entry) []entry {
 		// CPU merge: fold this wave's candidates into the per-query sets
 		// and re-prune the exits against the tightened bounds.
 		var mergeWork int64
-		for _, f := range found {
-			states[f.qi].add(f.p, f.d, k)
-			mergeWork += costmodel.WorkHeapOp
+		for _, fs := range t.knnFoundBuf {
+			for _, f := range fs {
+				states[f.qi].add(f.p, f.d, k)
+				mergeWork += costmodel.WorkHeapOp
+			}
 		}
-		found = found[:0]
 		refreshBounds()
 		next := exits[:0]
 		for _, e := range exits {
@@ -310,7 +340,7 @@ func (t *Tree) collectKCandidates(queries []geom.Point, starts []*Node, k int, c
 		t.sys.CPUPhase(mergeWork, 0, 0)
 		return next
 	}
-	t.runPushPullWaves(frontier, knnMsgBytes, scan, afterWave)
+	t.runPushPullWaves(frontier, knnMsgBytes, scan, prep, afterWave)
 
 	out := make([][]Neighbor, len(queries))
 	for i, cs := range states {
@@ -359,22 +389,34 @@ type knnFound struct {
 	d  uint64
 }
 
-// knnWaveOut accumulates one worker's chunk exits and candidates within a
-// wave.
-type knnWaveOut struct {
-	exits []entry
-	found []knnFound
+// ensureKNNWaveScratch sizes the per-group found slots and per-worker
+// candidate scratch for one wave, truncating reused slots to length 0
+// (capacity persists, so steady-state waves allocate nothing).
+func (t *Tree) ensureKNNWaveScratch(nGroups, nWorkers int) {
+	if cap(t.knnFoundBuf) < nGroups {
+		next := make([][]knnFound, nGroups)
+		copy(next, t.knnFoundBuf[:cap(t.knnFoundBuf)])
+		t.knnFoundBuf = next
+	}
+	t.knnFoundBuf = t.knnFoundBuf[:nGroups]
+	for i := range t.knnFoundBuf {
+		t.knnFoundBuf[i] = t.knnFoundBuf[i][:0]
+	}
+	if cap(t.knnCandBuf) < nWorkers {
+		next := make([]candState, nWorkers)
+		copy(next, t.knnCandBuf[:cap(t.knnCandBuf)])
+		t.knnCandBuf = next
+	}
+	t.knnCandBuf = t.knnCandBuf[:nWorkers]
 }
 
 // knnChunkScan traverses one chunk for one query on a PIM module: nodes in
-// the chunk are pruned against the shipped bound under the coarse metric,
-// leaf points are scored, and child-chunk exits within the bound are
-// emitted. It returns the module work and the bytes sent back.
-func (t *Tree) knnChunkScan(c *Chunk, e entry, q geom.Point, bound uint64, k int, coarse geom.Metric, o *knnWaveOut) (work, outBytes int64) {
-	local := newCandState(k)
-	if bound != math.MaxUint64 {
-		local.bound = bound
-	}
+// the chunk are pruned against the shipped bound under the coarse metric
+// (carried by local, a reset per-worker scratch), leaf points are scored,
+// and child-chunk exits within the bound are emitted; the chunk's best
+// (at most k) candidates are appended to *found. It returns the module
+// work and the bytes sent back.
+func (t *Tree) knnChunkScan(c *Chunk, e entry, q geom.Point, local *candState, k int, coarse geom.Metric, exits *[]entry, found *[]knnFound) (work, outBytes int64) {
 	var rec func(n *Node)
 	rec = func(n *Node) {
 		work += 4
@@ -382,7 +424,7 @@ func (t *Tree) knnChunkScan(c *Chunk, e entry, q geom.Point, bound uint64, k int
 			return
 		}
 		if n.Chunk != c {
-			o.exits = append(o.exits, entry{qi: e.qi, node: n})
+			*exits = append(*exits, entry{qi: e.qi, node: n})
 			outBytes += resultMsgBytes
 			return
 		}
@@ -403,7 +445,7 @@ func (t *Tree) knnChunkScan(c *Chunk, e entry, q geom.Point, bound uint64, k int
 	}
 	rec(e.node)
 	for _, nb := range local.best {
-		o.found = append(o.found, knnFound{qi: e.qi, p: nb.Point, d: nb.Dist})
+		*found = append(*found, knnFound{qi: e.qi, p: nb.Point, d: nb.Dist})
 		outBytes += pointBytes
 	}
 	return work, outBytes
@@ -413,18 +455,20 @@ func (t *Tree) knnChunkScan(c *Chunk, e entry, q geom.Point, bound uint64, k int
 // each query's N_q2, fetch every point within the coarse-metric bound.
 func (t *Tree) collectSphere(queries []geom.Point, starts []*Node, bound []uint64, coarse geom.Metric) [][]geom.Point {
 	out := make([][]geom.Point, len(queries))
-	var frontier []entry
+	frontier := t.frontierBuf[:0]
 	var cpuWork int64
 	for i := range queries {
 		cpuWork += t.expandL0Sphere(int32(i), starts[i], queries[i], bound[i], coarse, &out[i], &frontier)
 	}
+	t.frontierBuf = frontier
 	t.sys.CPUPhase(cpuWork, 0, 0)
 
 	// Several chunks of one wave may serve the same query concurrently;
-	// per-query locks guard the result slices.
+	// per-query locks guard the result slices (per-query order may vary
+	// with scheduling, but callers treat each slice as a set).
 	locks := make([]sync.Mutex, len(queries))
 	pimCost := pimDistCost(coarse, t.cfg.Dims)
-	scan := func(c *Chunk, e entry, cpuSide bool, exits *[]entry) (int64, int64) {
+	scan := func(c *Chunk, e entry, cpuSide bool, worker, gi int, exits *[]entry) (int64, int64) {
 		distCost := pimCost
 		if cpuSide {
 			distCost = int64(t.cfg.Dims)
@@ -435,7 +479,7 @@ func (t *Tree) collectSphere(queries []geom.Point, starts []*Node, bound []uint6
 			locks[e.qi].Unlock()
 		}, exits)
 	}
-	t.runPushPullWaves(frontier, knnMsgBytes, scan, nil)
+	t.runPushPullWaves(frontier, knnMsgBytes, scan, nil, nil)
 	return out
 }
 

@@ -105,7 +105,13 @@ func (t *Tree) relayout() {
 	t.l0Bytes = 0
 
 	var promoted, demoted int64
-	var moveBytes map[int]int64 = make(map[int]int64)
+	if cap(t.moveBuf) < t.P() {
+		t.moveBuf = make([]int64, t.P())
+	}
+	moveBytes := t.moveBuf[:t.P()]
+	for m := range moveBytes {
+		moveBytes[m] = 0
+	}
 	var l0Broadcast int64
 
 	if t.root != nil {
@@ -180,11 +186,14 @@ func (t *Tree) relayout() {
 
 	if anyChange || l0Broadcast > 0 {
 		// Alg. 2 step 3c/3d: two communication rounds apply the cache and
-		// layer modifications.
-		modules := make([]int, 0, len(moveBytes))
+		// layer modifications (active modules ascending).
+		modules := t.activeBuf[:0]
 		for m := range moveBytes {
-			modules = append(modules, m)
+			if moveBytes[m] > 0 {
+				modules = append(modules, m)
+			}
 		}
+		t.activeBuf = modules
 		t.sys.Round(modules, func(m *pim.Module) {
 			m.Recv(moveBytes[m.ID])
 			m.Work(moveBytes[m.ID] / 8)

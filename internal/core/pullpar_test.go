@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"pimzdtree/internal/geom"
+	"pimzdtree/internal/morton"
+)
+
+// TestPulledScanMultiWorker drives the parallel pulled-chunk host path with
+// several workers: a seeded skewed batch (many duplicate queries on a few
+// hot keys) pushes dozens of chunk groups over the SkewResistant pull
+// threshold (B = 16), so scanPulled's BlocksN genuinely forks. Under `make
+// race` (GOMAXPROCS=4 -race) this is the regression net for data races in
+// the concurrent group traversals and the per-worker accumulators.
+func TestPulledScanMultiWorker(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(17))
+	data := randPoints(rng, 40_000, 3, 1<<20)
+	tr := New(testConfig(SkewResistant), data)
+
+	// 64 hot keys x 250 copies each.
+	hot := make([]geom.Point, 0, 64*250)
+	for i := 0; i < 64; i++ {
+		p := data[i*37]
+		for j := 0; j < 250; j++ {
+			hot = append(hot, p)
+		}
+	}
+
+	before := tr.Stats().Pulls
+	res := tr.Search(hot)
+	if tr.Stats().Pulls == before {
+		t.Fatal("skewed batch did not exercise the pulled-chunk path")
+	}
+	for i := 0; i < len(hot); i += 97 {
+		r := res[i]
+		if r.Terminal == nil || !r.Terminal.IsLeaf() {
+			t.Fatalf("query %d: stored point did not terminate at a leaf", i)
+		}
+		key := morton.EncodePoint(hot[i])
+		found := false
+		for _, k := range r.Terminal.Keys {
+			if k == key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query %d: terminal leaf does not hold the query key", i)
+		}
+	}
+
+	// kNN and box waves share runPushPullWaves; drive their pulled paths
+	// with the same skew.
+	nbrs := tr.KNN(hot[:2000], 4)
+	for i, ns := range nbrs {
+		if len(ns) != 4 {
+			t.Fatalf("kNN query %d: got %d neighbors, want 4", i, len(ns))
+		}
+		if ns[0].Dist != 0 {
+			t.Fatalf("kNN query %d: nearest distance %d, want 0 (query is stored)", i, ns[0].Dist)
+		}
+	}
+	boxes := make([]geom.Box, 64*8)
+	for i := range boxes {
+		c := data[(i%64)*37]
+		lo := geom.P3(c.Coords[0]-(c.Coords[0]&0xffff), c.Coords[1]-(c.Coords[1]&0xffff), c.Coords[2]-(c.Coords[2]&0xffff))
+		boxes[i] = geom.NewBox(lo, geom.P3(lo.Coords[0]+1<<16, lo.Coords[1]+1<<16, lo.Coords[2]+1<<16))
+	}
+	counts := tr.BoxCount(boxes)
+	for i, c := range counts {
+		if c <= 0 {
+			t.Fatalf("box %d around a stored point counted %d points", i, c)
+		}
+	}
+}

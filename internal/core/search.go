@@ -270,16 +270,21 @@ func (t *Tree) groupByChunk(frontier []entry) []chunkGroup {
 	return out
 }
 
-// moduleLoads sums per-module query counts over groups.
-func (t *Tree) moduleLoads(groups []chunkGroup) map[int]int {
-	if t.loadBuf == nil {
-		t.loadBuf = make(map[int]int)
+// moduleLoads sums per-module query counts over groups into a dense,
+// module-indexed scratch slice (zeroed on each call).
+func (t *Tree) moduleLoads(groups []chunkGroup) []int {
+	p := t.P()
+	if cap(t.loadBuf) < p {
+		t.loadBuf = make([]int, p)
 	}
-	clear(t.loadBuf)
+	loads := t.loadBuf[:p]
+	for i := range loads {
+		loads[i] = 0
+	}
 	for _, g := range groups {
-		t.loadBuf[g.chunk.Module] += len(g.entries)
+		loads[g.chunk.Module] += len(g.entries)
 	}
-	return t.loadBuf
+	return loads
 }
 
 // searchL1 runs Alg. 1 steps 2-3 and returns the L2 frontier.
@@ -321,14 +326,9 @@ func (t *Tree) searchL1(keys []uint64, opts searchOpts, res []SearchResult, fron
 			// hash placement (several cool chunks sharing a module), which
 			// pulling cannot fix — push as-is, as the balls-into-bins bound
 			// (Lemma 5.2) licenses.
-			var pulled, rest []chunkGroup
-			for _, g := range groups {
-				if len(g.entries) > kPull {
-					pulled = append(pulled, g)
-				} else {
-					rest = append(rest, g)
-				}
-			}
+			pulled, rest := t.router.partition(groups, func(g chunkGroup) bool {
+				return len(g.entries) > kPull
+			})
 			if len(pulled) == 0 {
 				return true
 			}
@@ -392,14 +392,9 @@ func (t *Tree) searchL2(keys []uint64, opts searchOpts, res []SearchResult, fron
 			rec.BeginPhase(fmt.Sprintf("L2-level-%d", level))
 		}
 		groups := t.groupByChunk(frontier)
-		var pulled, pushed []chunkGroup
-		for _, g := range groups {
-			if len(g.entries) > kPull {
-				pulled = append(pulled, g)
-			} else {
-				pushed = append(pushed, g)
-			}
-		}
+		pulled, pushed := t.router.partition(groups, func(g chunkGroup) bool {
+			return len(g.entries) > kPull
+		})
 		// record only writes advancing queries, so clear the slots of the
 		// in-flight frontier: a query that terminates this round must not
 		// see a stale pointer from an earlier round (or batch).
@@ -427,34 +422,36 @@ func (t *Tree) searchL2(keys []uint64, opts searchOpts, res []SearchResult, fron
 // pullAndAdvance executes a pull-only round: each pulled chunk's module
 // sends its master structure to the CPU, which traverses the chunk and
 // advances its queries one meta-level (Alg. 1 excludes caches from pulls,
-// so pulled queries move exactly one chunk per round).
+// so pulled queries move exactly one chunk per round). Host traversals run
+// in parallel across groups — distinct groups hold distinct queries, so
+// res writes never race — with each group's survivors collected in a
+// per-group slot and handed to appendNext serially in group order.
 func (t *Tree) pullAndAdvance(keys []uint64, opts searchOpts, res []SearchResult, pulled []chunkGroup, appendNext func(int32, *Node)) {
 	if len(pulled) == 0 {
 		return
 	}
-	perModule := make(map[int][]chunkGroup)
-	for _, g := range pulled {
-		perModule[g.chunk.Module] = append(perModule[g.chunk.Module], g)
-	}
-	active := make([]int, 0, len(perModule))
-	for m := range perModule {
-		active = append(active, m)
-	}
-	t.sys.Round(active, func(m *pim.Module) {
-		for _, g := range perModule[m.ID] {
+	r := &t.router
+	r.route(t.P(), pulled, nil)
+	t.sys.Round(r.active, func(m *pim.Module) {
+		for _, g := range r.pullsOf(m.ID) {
 			m.Send(g.chunk.StructBytes)
 		}
 	})
-	var cpuWork, cpuBytes int64
-	for _, g := range pulled {
-		t.pulls++
-		cpuBytes += g.chunk.StructBytes
+	pullSlots := r.pullSlots(len(pulled))
+	cpuWork, cpuBytes := t.scanPulled(pulled, 0, func(worker, gi int, g chunkGroup) (int64, int64) {
+		var work int64
 		for _, e := range g.entries {
 			nd, visited := t.traverseChunkMaster(keys[e.qi], e.node, opts, &res[e.qi])
-			cpuWork += visited * 4
+			work += visited * 4
 			if nd != nil {
-				appendNext(e.qi, nd)
+				pullSlots[gi] = append(pullSlots[gi], entry{qi: e.qi, node: nd})
 			}
+		}
+		return work, 0
+	})
+	for _, slot := range pullSlots {
+		for _, e := range slot {
+			appendNext(e.qi, e.node)
 		}
 	}
 	t.sys.Recorder().Add("chunk-pulls", int64(len(pulled)))
@@ -463,93 +460,66 @@ func (t *Tree) pullAndAdvance(keys []uint64, opts searchOpts, res []SearchResult
 
 // pullAndAdvanceInRound executes one combined push-pull BSP round over L2
 // groups: pulled chunks ship masters, pushed queries run on modules; both
-// advance exactly one meta-level.
+// advance exactly one meta-level. record must tolerate concurrent calls
+// for distinct queries (each query appears in exactly one group, and the
+// sole caller writes a per-query slot), which lets the pulled groups'
+// host traversals run in parallel across groups.
 func (t *Tree) pullAndAdvanceInRound(keys []uint64, opts searchOpts, res []SearchResult, pulled, pushed []chunkGroup, record func(int32, *Node)) {
-	perModulePush := make(map[int][]chunkGroup)
-	for _, g := range pushed {
-		perModulePush[g.chunk.Module] = append(perModulePush[g.chunk.Module], g)
-	}
-	perModulePull := make(map[int][]chunkGroup)
-	for _, g := range pulled {
-		perModulePull[g.chunk.Module] = append(perModulePull[g.chunk.Module], g)
-	}
-	activeSet := make(map[int]bool)
-	for m := range perModulePush {
-		activeSet[m] = true
-	}
-	for m := range perModulePull {
-		activeSet[m] = true
-	}
-	active := make([]int, 0, len(activeSet))
-	for m := range activeSet {
-		active = append(active, m)
-	}
-	if len(active) == 0 {
+	r := &t.router
+	r.route(t.P(), pulled, pushed)
+	if len(r.active) == 0 {
 		return
 	}
-	type pushRes struct {
-		qi int32
-		n  *Node
-	}
-	results := make([][]pushRes, len(active))
-	idxOf := make(map[int]int, len(active))
-	for i, m := range active {
-		idxOf[m] = i
-	}
-	t.sys.Round(active, func(m *pim.Module) {
-		var out []pushRes
-		for _, g := range perModulePull[m.ID] {
+	resSlots := r.resSlots(len(r.active))
+	t.sys.Round(r.active, func(m *pim.Module) {
+		slot := r.slot[m.ID]
+		out := resSlots[slot]
+		for _, g := range r.pullsOf(m.ID) {
 			m.Send(g.chunk.StructBytes)
 		}
-		for _, g := range perModulePush[m.ID] {
+		for _, g := range r.pushesOf(m.ID) {
 			m.Recv(int64(len(g.entries)) * queryMsgBytes)
 			for _, e := range g.entries {
 				nd, visited := t.traverseChunkMaster(keys[e.qi], e.node, opts, &res[e.qi])
 				m.Work(visited * 4)
-				out = append(out, pushRes{qi: e.qi, n: nd})
+				out = append(out, entry{qi: e.qi, node: nd})
 			}
 			m.Send(int64(len(g.entries)) * resultMsgBytes)
 		}
-		results[idxOf[m.ID]] = out
+		resSlots[slot] = out
 	})
-	for _, out := range results {
+	for _, out := range resSlots {
 		for _, pr := range out {
-			if pr.n != nil {
-				record(pr.qi, pr.n)
-			}
-		}
-	}
-	var cpuWork, cpuBytes int64
-	for _, g := range pulled {
-		t.pulls++
-		cpuBytes += g.chunk.StructBytes
-		for _, e := range g.entries {
-			nd, visited := t.traverseChunkMaster(keys[e.qi], e.node, opts, &res[e.qi])
-			cpuWork += visited * 4
-			if nd != nil {
-				record(e.qi, nd)
+			if pr.node != nil {
+				record(pr.qi, pr.node)
 			}
 		}
 	}
 	if len(pulled) > 0 {
+		cpuWork, cpuBytes := t.scanPulled(pulled, 0, func(worker, gi int, g chunkGroup) (int64, int64) {
+			var work int64
+			for _, e := range g.entries {
+				nd, visited := t.traverseChunkMaster(keys[e.qi], e.node, opts, &res[e.qi])
+				work += visited * 4
+				if nd != nil {
+					record(e.qi, nd)
+				}
+			}
+			return work, 0
+		})
 		t.sys.Recorder().Add("chunk-pulls", int64(len(pulled)))
 		t.sys.CPUPhase(cpuWork, cpuBytes, 0)
 	}
 }
 
 // roundOverGroups runs one BSP round with each group's queries processed
-// on the group's module.
+// on the group's module (active modules ascending, groups in group order
+// within each module).
 func (t *Tree) roundOverGroups(groups []chunkGroup, handler func(m *pim.Module, g chunkGroup)) {
-	perModule := make(map[int][]chunkGroup)
-	for _, g := range groups {
-		perModule[g.chunk.Module] = append(perModule[g.chunk.Module], g)
-	}
-	active := make([]int, 0, len(perModule))
-	for m := range perModule {
-		active = append(active, m)
-	}
-	t.sys.Round(active, func(m *pim.Module) {
-		for _, g := range perModule[m.ID] {
+	r := &t.router
+	r.route(t.P(), nil, groups)
+	t.sys.Round(r.active, func(m *pim.Module) {
+		for _, g := range r.pushesOf(m.ID) {
 			handler(m, g)
 		}
 	})

@@ -9,23 +9,46 @@ import (
 )
 
 // updateStats accumulates the physical costs of one update batch, charged
-// as the communication rounds of Alg. 2 after the logical merge.
+// as the communication rounds of Alg. 2 after the logical merge. The
+// per-module lanes are dense (module-indexed) slices owned by the Tree and
+// reused batch to batch; resetUpdateStats re-zeroes them.
 type updateStats struct {
-	leafIn    map[int]int64 // point payload bytes delivered per module (step 3a)
-	leafWork  map[int]int64 // per-module PIM work for leaf edits and splits
-	linkBytes map[int]int64 // parent-child link fixes per module (step 3b)
-	syncBytes map[int]int64 // lazy-counter snapshot propagation (step 3e)
+	leafIn    []int64 // point payload bytes delivered per module (step 3a)
+	leafWork  []int64 // per-module PIM work for leaf edits and splits
+	linkBytes []int64 // parent-child link fixes per module (step 3b)
+	syncBytes []int64 // lazy-counter snapshot propagation (step 3e)
+	half      []int64 // scratch for the two link-fix rounds
 	newNodes  int64
 	ops       int64
 }
 
-func newUpdateStats() *updateStats {
-	return &updateStats{
-		leafIn:    make(map[int]int64),
-		leafWork:  make(map[int]int64),
-		linkBytes: make(map[int]int64),
-		syncBytes: make(map[int]int64),
+// resetUpdateStats returns the Tree-owned update accumulator with every
+// per-module lane sized to P and zeroed.
+func (t *Tree) resetUpdateStats() *updateStats {
+	st := &t.upStats
+	p := t.P()
+	if cap(st.leafIn) < p {
+		st.leafIn = make([]int64, p)
+		st.leafWork = make([]int64, p)
+		st.linkBytes = make([]int64, p)
+		st.syncBytes = make([]int64, p)
+		st.half = make([]int64, p)
 	}
+	st.leafIn = st.leafIn[:p]
+	st.leafWork = st.leafWork[:p]
+	st.linkBytes = st.linkBytes[:p]
+	st.syncBytes = st.syncBytes[:p]
+	st.half = st.half[:p]
+	for m := 0; m < p; m++ {
+		st.leafIn[m] = 0
+		st.leafWork[m] = 0
+		st.linkBytes[m] = 0
+		st.syncBytes[m] = 0
+		st.half[m] = 0
+	}
+	st.newNodes = 0
+	st.ops = 0
+	return st
 }
 
 // moduleOf returns the module holding n's master, or -1 for CPU-resident
@@ -73,7 +96,7 @@ func (t *Tree) Insert(points []geom.Point) {
 		rec.EndPhase()
 	}
 
-	st := newUpdateStats()
+	st := t.resetUpdateStats()
 	st.ops = int64(len(kps))
 	rec.BeginPhase("merge")
 	if t.root == nil {
@@ -259,44 +282,41 @@ func (t *Tree) chargeUpdateRounds(st *updateStats) {
 	// Step 2 + 3a: deliver points, edit leaves.
 	t.roundOverModuleBytes(st.leafIn, st.leafWork, resultMsgBytes)
 	// Step 3b: link fixing in two rounds (reserve, then connect).
-	half := make(map[int]int64, len(st.linkBytes))
 	for m, b := range st.linkBytes {
-		half[m] = (b + 1) / 2
+		st.half[m] = (b + 1) / 2
 	}
-	t.roundOverModuleBytes(half, nil, 0)
-	t.roundOverModuleBytes(half, nil, 0)
+	t.roundOverModuleBytes(st.half, nil, 0)
+	t.roundOverModuleBytes(st.half, nil, 0)
 	// Step 3e: propagate the lazy-counter snapshots that fired.
-	if len(st.syncBytes) > 0 {
-		t.roundOverModuleBytes(st.syncBytes, nil, 0)
-	}
+	t.roundOverModuleBytes(st.syncBytes, nil, 0)
 	// CPU-side batch preprocessing (dedup, grouping, trace bookkeeping).
 	t.sys.CPUPhase(st.ops*8, st.ops*pointBytes, 0)
 }
 
 // roundOverModuleBytes runs one BSP round delivering recvBytes to each
-// module, charging the optional per-module work and a per-module reply.
-func (t *Tree) roundOverModuleBytes(recvBytes, work map[int]int64, replyBytes int64) {
-	if len(recvBytes) == 0 && len(work) == 0 {
-		return
-	}
-	activeSet := make(map[int]bool)
+// module (dense, module-indexed), charging the optional per-module work and
+// a per-module reply. The round is skipped when no module has traffic or
+// work; the active list is ascending by construction.
+func (t *Tree) roundOverModuleBytes(recvBytes, work []int64, replyBytes int64) {
+	active := t.activeBuf[:0]
 	for m := range recvBytes {
-		activeSet[m] = true
+		if recvBytes[m] > 0 || (work != nil && work[m] > 0) {
+			active = append(active, m)
+		}
 	}
-	for m := range work {
-		activeSet[m] = true
-	}
-	active := make([]int, 0, len(activeSet))
-	for m := range activeSet {
-		active = append(active, m)
+	t.activeBuf = active
+	if len(active) == 0 {
+		return
 	}
 	t.sys.Round(active, func(m *pim.Module) {
 		if b := recvBytes[m.ID]; b > 0 {
 			m.Recv(b)
 			m.Work(b / 8)
 		}
-		if w := work[m.ID]; w > 0 {
-			m.Work(w)
+		if work != nil {
+			if w := work[m.ID]; w > 0 {
+				m.Work(w)
+			}
 		}
 		if replyBytes > 0 {
 			m.Send(replyBytes)
@@ -331,7 +351,7 @@ func (t *Tree) Delete(points []geom.Point) {
 	t.searchKeys(keys, searchOpts{})
 	rec.EndPhase()
 
-	st := newUpdateStats()
+	st := t.resetUpdateStats()
 	st.ops = int64(len(kps))
 	rec.BeginPhase("merge")
 	t.root = t.deleteRec(t.root, kps, st)
@@ -535,14 +555,17 @@ func (t *Tree) Rebuild() {
 	pts := t.Points()
 	// Haul every point up through the channels.
 	total, _ := t.sys.StoredBytesTotal()
-	modules := make([]int, 0, len(t.chunks))
-	seen := make(map[int]bool)
+	seen := make([]bool, t.P())
 	for _, c := range t.chunks {
-		if !seen[c.Module] {
-			seen[c.Module] = true
-			modules = append(modules, c.Module)
+		seen[c.Module] = true
+	}
+	modules := t.activeBuf[:0]
+	for m, s := range seen {
+		if s {
+			modules = append(modules, m)
 		}
 	}
+	t.activeBuf = modules
 	t.sys.Round(modules, func(m *pim.Module) {
 		m.Send(m.StoredBytes())
 	})

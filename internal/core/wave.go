@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
+	"pimzdtree/internal/parallel"
 	"pimzdtree/internal/pim"
 )
 
@@ -11,105 +11,99 @@ import (
 // chunk exits to *exits and returning the compute work and the bytes the
 // traversal sends back to the CPU. cpuSide is true when the chunk was
 // pulled and the traversal runs on the host (implementations typically
-// rebate the PIM multiply premium there). Implementations must be safe
-// for concurrent invocation on different chunk groups; any shared result
-// accumulation is their responsibility (per-query slots or locks).
-type waveScanFunc func(c *Chunk, e entry, cpuSide bool, exits *[]entry) (work, outBytes int64)
+// rebate the PIM multiply premium there). Implementations must be safe for
+// concurrent invocation on different chunk groups; worker is a stable
+// scratch index (distinct concurrent invocations never share one) and gi
+// is the group's rank in the wave's deterministic enumeration — pushed
+// groups module-major first, then pulled groups in group order — so
+// per-group result slots can be merged in a scheduling-independent order.
+type waveScanFunc func(c *Chunk, e entry, cpuSide bool, worker, gi int, exits *[]entry) (work, outBytes int64)
 
 // runPushPullWaves drives the generic push-pull BSP loop shared by kNN and
 // box traversals (§3.3 applied level by level, as in Alg. 1 step 4): each
 // wave groups the frontier by meta-node, pulls chunks holding more than
 // K = B queries (the paper's L2 threshold) to the CPU, pushes the rest to
 // their modules in a single round, and advances every query one meta-level.
+// prepWave (optional) runs after routing with the wave's group and worker
+// counts, so scans can size per-group result slots and per-worker scratch.
 // afterWave (optional) runs between waves on the collected exits — kNN uses
 // it to tighten bounds and prune — and returns the next frontier.
-func (t *Tree) runPushPullWaves(frontier []entry, msgBytes int64, scan waveScanFunc, afterWave func([]entry) []entry) {
+//
+// Routing runs on the Tree's CSR router: no per-wave maps, and the pulled
+// groups' host traversals run in parallel across groups with per-worker
+// accumulators feeding one CPU phase (waveScanFunc requires cross-group
+// concurrency safety). Exits still concatenate in the fixed order
+// (active modules ascending, then pulled groups in group order), so the
+// next frontier — and everything order-sensitive downstream — is identical
+// to the serial schedule.
+func (t *Tree) runPushPullWaves(frontier []entry, msgBytes int64, scan waveScanFunc, prepWave func(nGroups, nWorkers int), afterWave func([]entry) []entry) {
 	rec := t.sys.Recorder()
+	r := &t.router
 	for wave := 0; len(frontier) > 0; wave++ {
 		if rec.Enabled() {
 			rec.BeginPhase(fmt.Sprintf("wave-%d", wave))
 		}
 		groups := t.groupByChunk(frontier)
-		var pulled, pushed []chunkGroup
-		for _, g := range groups {
-			if int64(len(g.entries)) > t.chunkB {
-				pulled = append(pulled, g)
-			} else {
-				pushed = append(pushed, g)
-			}
+		pulled, pushed := r.partition(groups, func(g chunkGroup) bool {
+			return int64(len(g.entries)) > t.chunkB
+		})
+		r.route(t.P(), pulled, pushed)
+		active := r.active
+		nPush := len(pushed)
+		hostWorkers := 0
+		if len(pulled) > 0 {
+			hostWorkers = parallel.Workers()
 		}
-		perModule := make(map[int][]chunkGroup)
-		for _, g := range pushed {
-			perModule[g.chunk.Module] = append(perModule[g.chunk.Module], g)
+		if prepWave != nil {
+			prepWave(len(groups), len(active)+hostWorkers)
 		}
-		pullModules := make(map[int][]chunkGroup)
-		for _, g := range pulled {
-			pullModules[g.chunk.Module] = append(pullModules[g.chunk.Module], g)
-		}
-		activeSet := make(map[int]bool)
-		for m := range perModule {
-			activeSet[m] = true
-		}
-		for m := range pullModules {
-			activeSet[m] = true
-		}
-		active := make([]int, 0, len(activeSet))
-		for m := range activeSet {
-			active = append(active, m)
-		}
-		// Exits are concatenated in active order below and become the next
-		// wave's frontier; map iteration order would make that order — and
-		// every order-sensitive downstream cost (kNN bound tightening) —
-		// vary run to run.
-		sort.Ints(active)
-		exitSlots := make([][]entry, len(active)+1)
-		idxOf := make(map[int]int, len(active))
-		for i, m := range active {
-			idxOf[m] = i
-		}
+		exitSlots := r.exitSlots(len(active))
+		pullSlots := r.pullSlots(len(pulled))
 
 		// One BSP round: pulled chunks ship their masters up; pushed
 		// queries execute on their modules.
 		t.sys.Round(active, func(m *pim.Module) {
-			var exits []entry
-			for _, g := range pullModules[m.ID] {
+			slot := r.slot[m.ID]
+			exits := &exitSlots[slot]
+			for _, g := range r.pullsOf(m.ID) {
 				m.Send(g.chunk.StructBytes)
 			}
-			for _, g := range perModule[m.ID] {
+			base := r.pushBase[m.ID]
+			for j, g := range r.pushesOf(m.ID) {
 				m.Recv(int64(len(g.entries)) * msgBytes)
 				for _, e := range g.entries {
-					work, outBytes := scan(g.chunk, e, false, &exits)
+					work, outBytes := scan(g.chunk, e, false, int(slot), base+j, exits)
 					m.Work(work)
 					m.Send(outBytes)
 				}
 			}
-			exitSlots[idxOf[m.ID]] = exits
 		})
 
 		// Pulled chunks run on the CPU against master data: the structure
 		// crossed the channel above; the payload bytes each traversal
 		// actually reads cross (and hit host DRAM) per visit.
-		var pullWork, pullBytes int64
-		var cpuExits []entry
-		for _, g := range pulled {
-			t.pulls++
-			pullBytes += g.chunk.StructBytes
-			for _, e := range g.entries {
-				w, b := scan(g.chunk, e, true, &cpuExits)
-				pullWork += w
-				pullBytes += b
-			}
-		}
 		if len(pulled) > 0 {
+			pullWork, pullBytes := t.scanPulled(pulled, len(active), func(worker, gi int, g chunkGroup) (int64, int64) {
+				var work, bytes int64
+				for _, e := range g.entries {
+					w, b := scan(g.chunk, e, true, worker, nPush+gi, &pullSlots[gi])
+					work += w
+					bytes += b
+				}
+				return work, bytes
+			})
 			rec.Add("chunk-pulls", int64(len(pulled)))
 			t.sys.CPUPhase(pullWork, pullBytes, 0)
 		}
-		exitSlots[len(active)] = cpuExits
 
-		next := make([]entry, 0)
+		next := r.nextFrontier(wave)
 		for _, ex := range exitSlots {
 			next = append(next, ex...)
 		}
+		for _, ex := range pullSlots {
+			next = append(next, ex...)
+		}
+		r.front[wave&1] = next
 		if afterWave != nil {
 			next = afterWave(next)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"pimzdtree/internal/core"
 	"pimzdtree/internal/costmodel"
+	"pimzdtree/internal/geom"
 	"pimzdtree/internal/obs"
 	"pimzdtree/internal/workload"
 )
@@ -32,6 +33,25 @@ func runTraced(t *testing.T) (jsonl, chrome []byte) {
 	tree.Insert(pts[3000:3500])
 	tree.KNN(pts[:100], 4)
 	tree.Delete(pts[:200])
+
+	// Skewed batch: duplicate hot queries push chunk groups over the
+	// SkewResistant pull threshold, so the sampled rounds include the
+	// pulled-chunk routing of pullAndAdvance and roundOverGroups. Those
+	// rounds used to build their active-module lists from Go map iteration
+	// order, which leaked map entropy into the per-module load snapshots
+	// (SetModuleSampling above) — the CSR router's ascending active order
+	// is what this regression test pins.
+	hot := make([]geom.Point, 0, 16*120)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 120; j++ {
+			hot = append(hot, pts[i*11])
+		}
+	}
+	tree.Search(hot)
+	tree.KNN(hot[:200], 3)
+	if tree.Stats().Pulls == 0 {
+		t.Fatal("skewed batch did not exercise the pulled-chunk rounds")
+	}
 
 	var jb, cb bytes.Buffer
 	if err := rec.ExportJSONL(&jb); err != nil {

@@ -41,6 +41,13 @@ func workersFor(n, min int) int {
 	return p
 }
 
+// Workers returns the current worker-count ceiling (GOMAXPROCS). Callers
+// that fork with BlocksN and keep per-worker accumulators size them with
+// this so the partition matches the fork.
+func Workers() int {
+	return maxProcs()
+}
+
 // For runs body(i) for every i in [0, n) in parallel.
 func For(n int, body func(i int)) {
 	ForRange(0, n, body)

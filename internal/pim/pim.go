@@ -300,17 +300,18 @@ func Hash64(x uint64) uint64 {
 
 // Imbalanced reports whether a per-module load assignment is imbalanced
 // per Alg. 1's criterion: the busiest module holds more than 3x the mean
-// load across modules with any load.
-func Imbalanced(loads map[int]int, p int) bool {
-	if len(loads) == 0 {
-		return false
-	}
+// load. loads is indexed by module id (dense; zero entries are idle
+// modules), p is the module count the mean is taken over.
+func Imbalanced(loads []int, p int) bool {
 	var total, max int
 	for _, l := range loads {
 		total += l
 		if l > max {
 			max = l
 		}
+	}
+	if max == 0 {
+		return false
 	}
 	mean := float64(total) / float64(p)
 	return float64(max) > 3*mean

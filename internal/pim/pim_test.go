@@ -226,13 +226,13 @@ func TestHash64Avalanche(t *testing.T) {
 func TestImbalanced(t *testing.T) {
 	// 10 modules, loads {30,1,...}: mean over P=10 of total 39 is 3.9;
 	// max 30 > 11.7 -> imbalanced.
-	loads := map[int]int{0: 30, 1: 1, 2: 2, 3: 3, 4: 3}
+	loads := []int{30, 1, 2, 3, 3, 0, 0, 0, 0, 0}
 	if !Imbalanced(loads, 10) {
 		t.Fatal("should be imbalanced")
 	}
 	// Even loads are balanced.
-	even := map[int]int{}
-	for i := 0; i < 10; i++ {
+	even := make([]int, 10)
+	for i := range even {
 		even[i] = 5
 	}
 	if Imbalanced(even, 10) {
@@ -240,6 +240,9 @@ func TestImbalanced(t *testing.T) {
 	}
 	if Imbalanced(nil, 10) {
 		t.Fatal("empty loads flagged imbalanced")
+	}
+	if Imbalanced(make([]int, 10), 10) {
+		t.Fatal("all-idle loads flagged imbalanced")
 	}
 }
 

@@ -3,6 +3,9 @@
 //	checkjson -chrome file.json   # Chrome trace-event JSON: must parse and
 //	                              # contain a non-empty traceEvents array
 //	checkjson -jsonl file.jsonl   # JSONL: every line must be valid JSON
+//	checkjson -bench file.json    # pimzd-bench -bench-json report: must
+//	                              # parse with non-empty panels, each with
+//	                              # an experiment id and positive seconds
 //
 // Exit status 0 on success; 1 with a diagnostic on the first violation.
 package main
@@ -19,6 +22,7 @@ func main() {
 	var (
 		chrome = flag.String("chrome", "", "validate a Chrome trace-event JSON file")
 		jsonl  = flag.String("jsonl", "", "validate a JSONL file line by line")
+		bench  = flag.String("bench", "", "validate a pimzd-bench -bench-json perf report")
 	)
 	flag.Parse()
 	switch {
@@ -30,8 +34,12 @@ func main() {
 		if err := checkJSONL(*jsonl); err != nil {
 			fail(*jsonl, err)
 		}
+	case *bench != "":
+		if err := checkBench(*bench); err != nil {
+			fail(*bench, err)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl | -bench file.json")
 		os.Exit(2)
 	}
 }
@@ -54,6 +62,38 @@ func checkChrome(path string) error {
 	}
 	if len(doc.TraceEvents) == 0 {
 		return fmt.Errorf("empty traceEvents array")
+	}
+	return nil
+}
+
+func checkBench(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Panels []struct {
+			Experiment string  `json:"experiment"`
+			Seconds    float64 `json:"seconds"`
+		} `json:"panels"`
+		TotalSeconds float64 `json:"total_seconds"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if len(doc.Panels) == 0 {
+		return fmt.Errorf("empty panels array")
+	}
+	for i, p := range doc.Panels {
+		if p.Experiment == "" {
+			return fmt.Errorf("panel %d: missing experiment id", i)
+		}
+		if p.Seconds <= 0 {
+			return fmt.Errorf("panel %d (%s): non-positive seconds", i, p.Experiment)
+		}
+	}
+	if doc.TotalSeconds <= 0 {
+		return fmt.Errorf("non-positive total_seconds")
 	}
 	return nil
 }
