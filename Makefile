@@ -21,6 +21,9 @@ vet:
 test:
 	$(GO) test ./...
 
+# Multi-worker regression net: the forked walks (pulled-chunk scans via
+# TestPulledScanMultiWorker, fork-join updates/relayout via
+# TestUpdateMultiWorker) only exercise their parallel paths above one proc.
 race:
 	GOMAXPROCS=4 $(GO) test -race ./...
 
@@ -34,7 +37,7 @@ smoke:
 	$(GO) run ./cmd/pimzd-trace -op search -n 20000 -batch 500 -p 256 \
 		-format jsonl -out .smoke/search.jsonl
 	$(GO) run ./tools/checkjson -jsonl .smoke/search.jsonl
-	$(GO) run ./cmd/pimzd-bench -experiment fig5a,table2 -format csv \
+	$(GO) run ./cmd/pimzd-bench -experiment fig5a,fig6,table2 -format csv \
 		-warmup 20000 -batch 2000 -p 256 -bench-json .smoke/bench.json \
 		> /dev/null
 	$(GO) run ./tools/checkjson -bench .smoke/bench.json
@@ -53,5 +56,5 @@ bench-json:
 	$(GO) run ./cmd/pimzd-bench \
 		-experiment fig5a,fig5c,fig6,fig7,fig8,fig9,table2,table3,latency \
 		-format csv -warmup 30000 -batch 3000 -p 256 \
-		-bench-json BENCH_3.json > /dev/null
-	$(GO) run ./tools/checkjson -bench BENCH_3.json
+		-bench-json BENCH_4.json > /dev/null
+	$(GO) run ./tools/checkjson -bench BENCH_4.json

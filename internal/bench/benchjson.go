@@ -26,10 +26,44 @@ func OpsCount() int64 { return opsExecuted }
 
 // PanelPerf is the harness cost of one experiment panel.
 type PanelPerf struct {
-	Experiment string  `json:"experiment"`
+	Experiment string      `json:"experiment"`
+	Seconds    float64     `json:"seconds"`
+	Ops        int64       `json:"ops"`
+	MOpsPerSec float64     `json:"mops_per_sec"`
+	Phases     []PhasePerf `json:"phases,omitempty"`
+}
+
+// PhasePerf is the wall clock of one operation phase within a panel.
+// The update-heavy panels record it per operation kind (Insert vs the
+// query phases) so the update-path speedup is visible in the trajectory
+// without re-deriving it from profile dumps.
+type PhasePerf struct {
+	Name       string  `json:"name"`
 	Seconds    float64 `json:"seconds"`
 	Ops        int64   `json:"ops"`
 	MOpsPerSec float64 `json:"mops_per_sec"`
+}
+
+// phasePerfs accumulates the phases of the currently running experiment;
+// experiments run serially in the bench CLI (see opsExecuted), so the
+// slice is unsynchronized.
+var phasePerfs []PhasePerf
+
+// RecordPhase logs one timed phase of the running experiment for the next
+// TakePhases call.
+func RecordPhase(name string, seconds float64, ops int) {
+	p := PhasePerf{Name: name, Seconds: seconds, Ops: int64(ops)}
+	if ops > 0 && seconds > 0 {
+		p.MOpsPerSec = float64(ops) / seconds / 1e6
+	}
+	phasePerfs = append(phasePerfs, p)
+}
+
+// TakePhases drains the phases recorded since the last call.
+func TakePhases() []PhasePerf {
+	p := phasePerfs
+	phasePerfs = nil
+	return p
 }
 
 // PerfReport is the whole run: per-panel wall clock plus the parameters
@@ -44,9 +78,10 @@ type PerfReport struct {
 }
 
 // AddPanel records one finished panel, deriving MOp/s when any operations
-// were counted (panels that only build or inspect report 0).
+// were counted (panels that only build or inspect report 0) and attaching
+// any phases the experiment recorded.
 func (r *PerfReport) AddPanel(id string, seconds float64, ops int64) {
-	p := PanelPerf{Experiment: id, Seconds: seconds, Ops: ops}
+	p := PanelPerf{Experiment: id, Seconds: seconds, Ops: ops, Phases: TakePhases()}
 	if ops > 0 && seconds > 0 {
 		p.MOpsPerSec = float64(ops) / seconds / 1e6
 	}

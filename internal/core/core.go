@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"pimzdtree/internal/costmodel"
 	"pimzdtree/internal/geom"
@@ -257,6 +258,19 @@ type Tree struct {
 	activeBuf   []int
 	upStats     updateStats
 	moveBuf     []int64
+	kpBuf       []keyed // makeKeyed batch buffer (never retained by the tree)
+
+	// Fork-join scratch for the parallel update and layout passes. The
+	// freelists hand branch-local accumulators (updateStats arenas, chunk
+	// sinks) to forked recursions; the remaining buffers back the
+	// block-parallel chunk passes of relayout.
+	arenaMu    sync.Mutex
+	arenaFree  []*updateStats
+	sinkFree   []*chunkSink
+	chunkBuild chunkSink
+	diffAccs   []diffAcc
+	moveLanes  parallel.Lanes
+	footBuf    []int64
 }
 
 // New builds a PIM-zd-tree over points (may be empty).
@@ -318,8 +332,14 @@ type keyed struct {
 	pt  geom.Point
 }
 
+// makeKeyed encodes a batch into the tree-owned keyed buffer. Nothing
+// downstream retains the slice (leaf construction copies the payload), so
+// every batch reuses it.
 func (t *Tree) makeKeyed(points []geom.Point) []keyed {
-	kps := make([]keyed, len(points))
+	if cap(t.kpBuf) < len(points) {
+		t.kpBuf = make([]keyed, len(points))
+	}
+	kps := t.kpBuf[:len(points)]
 	parallel.For(len(points), func(i int) {
 		if points[i].Dims != t.cfg.Dims {
 			panic(fmt.Sprintf("core: point dims %d != tree dims %d", points[i].Dims, t.cfg.Dims))

@@ -81,8 +81,11 @@ func (t *Tree) replicaCount(n *Node) int64 {
 // applyDelta records a subtree-size change of delta at node n, updating the
 // exact master count immediately and the lazy snapshot when the window is
 // exceeded (or on every change when lazy counters are ablated). Snapshot
-// propagation traffic is accumulated into syncBytes, dense per module.
-func (t *Tree) applyDelta(n *Node, delta int64, syncBytes []int64) {
+// propagation traffic and the sync count accumulate into the caller's
+// arena (st.syncBytes dense per module, st.syncs), never into shared Tree
+// state — the fork-join merge walk calls this concurrently from sibling
+// branches, each on its own arena.
+func (t *Tree) applyDelta(n *Node, delta int64, st *updateStats) {
 	n.Size += delta
 	n.Delta += delta
 	if t.cfg.DisableLazyCounters {
@@ -94,36 +97,36 @@ func (t *Tree) applyDelta(n *Node, delta int64, syncBytes []int64) {
 		if ops < 0 {
 			ops = -ops
 		}
-		t.chargeCounterMessages(n, ops, syncBytes)
+		t.chargeCounterMessages(n, ops, st)
 		n.SC = n.Size
 		n.Delta = 0
-		t.counterSyncs += ops
-		t.sys.Recorder().Add("lazy-counter-syncs", ops)
+		st.syncs += ops
 		return
 	}
 	lo, hi := t.deltaWindow(n)
 	if n.Delta >= hi || n.Delta <= lo || n.Delta == 0 {
-		t.syncCounter(n, syncBytes)
+		t.syncCounter(n, st)
 	}
 }
 
 // chargeCounterMessages accumulates `count` counter messages to n's master
 // module and each replica holder.
-func (t *Tree) chargeCounterMessages(n *Node, count int64, syncBytes []int64) {
+func (t *Tree) chargeCounterMessages(n *Node, count int64, st *updateStats) {
 	if m := t.moduleOf(n); m >= 0 {
-		syncBytes[m] += counterMsgBytes * count
+		st.syncBytes[m] += counterMsgBytes * count
 	}
 	switch n.Layer {
 	case L0:
 		if t.l0OnModules {
 			for m := 0; m < t.P(); m++ {
-				syncBytes[m] += counterMsgBytes * count
+				st.syncBytes[m] += counterMsgBytes * count
 			}
 		}
 	case L1:
 		if n.Chunk != nil {
-			for _, holder := range t.cacheHolders(n.Chunk) {
-				syncBytes[holder] += counterMsgBytes * count
+			st.holderBuf = t.appendCacheHolders(n.Chunk, st.holderBuf[:0])
+			for _, holder := range st.holderBuf {
+				st.syncBytes[holder] += counterMsgBytes * count
 			}
 		}
 	}
@@ -135,28 +138,28 @@ func (t *Tree) chargeCounterMessages(n *Node, count int64, syncBytes []int64) {
 // master's counter current requires a message to its own module — the
 // cost strict consistency pays on every update and lazy counters pay only
 // on window overflow (the Table 3 "Lazy Counter" ablation).
-func (t *Tree) syncCounter(n *Node, syncBytes []int64) {
+func (t *Tree) syncCounter(n *Node, st *updateStats) {
 	if n.Delta == 0 && n.SC == n.Size {
 		return
 	}
 	n.SC = n.Size
 	n.Delta = 0
-	t.counterSyncs++
-	t.sys.Recorder().Add("lazy-counter-syncs", 1)
+	st.syncs++
 	if m := t.moduleOf(n); m >= 0 {
-		syncBytes[m] += counterMsgBytes
+		st.syncBytes[m] += counterMsgBytes
 	}
 	switch n.Layer {
 	case L0:
 		if t.l0OnModules {
 			for m := 0; m < t.P(); m++ {
-				syncBytes[m] += counterMsgBytes
+				st.syncBytes[m] += counterMsgBytes
 			}
 		}
 	case L1:
 		if n.Chunk != nil {
-			for _, holder := range t.cacheHolders(n.Chunk) {
-				syncBytes[holder] += counterMsgBytes
+			st.holderBuf = t.appendCacheHolders(n.Chunk, st.holderBuf[:0])
+			for _, holder := range st.holderBuf {
+				st.syncBytes[holder] += counterMsgBytes
 			}
 		}
 	}

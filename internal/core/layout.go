@@ -3,8 +3,14 @@ package core
 import (
 	"math"
 
+	"pimzdtree/internal/parallel"
 	"pimzdtree/internal/pim"
 )
+
+// layoutGrain is the sequential cutoff for the fork-join tree walks of the
+// layout pass (assignLayers, chunkifyFrom, clearDirty): subtrees at or
+// below this size stay serial.
+const layoutGrain = 2048
 
 // computeThresholds derives the layer thresholds from the current size and
 // the selected tuning (Table 2). The size feeding ThetaL0 = n/P is itself
@@ -94,6 +100,13 @@ func (t *Tree) layerOf(n *Node, parentLayer Layer) Layer {
 // promotions to a module-replicated L0 are broadcast. Unchanged chunks
 // (same ID, same module, no dirty node) cost nothing, so steady-state
 // batches only pay for what they touched.
+//
+// Every pass is a deterministic fork-join: the tree walks fork over
+// disjoint subtrees into branch-local accumulators (layerCounts,
+// chunkSink), and the chunk-wise diff/footprint loops block-fan-out over
+// the chunk list with per-worker Lanes. All accumulation is commutative
+// int64 sums merged after the joins, so the charged rounds and recorder
+// counters are byte-identical to the serial walk at any GOMAXPROCS.
 func (t *Tree) relayout() {
 	rec := t.sys.Recorder()
 	rec.BeginPhase("relayout")
@@ -101,8 +114,6 @@ func (t *Tree) relayout() {
 	t.computeThresholds()
 	old := t.chunks
 	t.chunks = make(map[uint64]*Chunk, len(old))
-	t.l0Count = 0
-	t.l0Bytes = 0
 
 	var promoted, demoted int64
 	if cap(t.moveBuf) < t.P() {
@@ -114,8 +125,13 @@ func (t *Tree) relayout() {
 	}
 	var l0Broadcast int64
 
+	sink := &t.chunkBuild
+	sink.chunks = sink.chunks[:0]
+	sink.migrations = 0
 	if t.root != nil {
-		t.assignLayers(t.root, L0, &promoted, &demoted)
+		lc := t.assignLayers(t.root, L0)
+		promoted, demoted = lc.promoted, lc.demoted
+		t.l0Count, t.l0Bytes = lc.l0Count, lc.l0Bytes
 		t.l0OnModules = t.l0Bytes > t.cfg.CacheBudget
 		// Rehoming threshold from the previous layout: overloaded means
 		// more than twice the fair per-module share plus slack for hash
@@ -128,9 +144,19 @@ func (t *Tree) relayout() {
 			avgChunk = total / int64(len(old))
 		}
 		t.rehomeThreshold = 2*fair + 8*avgChunk + 16<<10
-		t.chunkifyFrom(t.root, nil)
+		t.chunkifyFrom(t.root, nil, sink)
 	} else {
+		t.l0Count, t.l0Bytes = 0, 0
 		t.l0OnModules = false
+	}
+	// Publish the new chunk table in build order — the same order the
+	// serial walk inserted, so ID collisions (last insert wins) resolve
+	// identically.
+	for _, c := range sink.chunks {
+		t.chunks[c.ID] = c
+	}
+	if sink.migrations > 0 {
+		rec.Add("chunk-migrations", sink.migrations)
 	}
 
 	// Diff against the previous layout to charge movement. A chunk ships
@@ -142,38 +168,63 @@ func (t *Tree) relayout() {
 	// never moved, and charging them again would double-count.
 	const deltaMsgBytes = 64
 	initialLoad := !t.bootstrapped
-	anyChange := false
-	for id, c := range t.chunks {
-		prev, ok := old[id]
-		moved := c.migrated || (ok && prev.Module != c.Module) || (!ok && initialLoad)
-		edited := !moved &&
-			(!ok || prev.NodeCount != c.NodeCount || prev.Bytes != c.Bytes || t.chunkDirty(c))
-		if !moved && !edited {
-			continue
-		}
-		anyChange = true
-		var masterBytes, cacheBytes int64
-		if moved {
-			t.movedChunks++
-			rec.Add("chunk-moves", 1)
-			masterBytes = c.Bytes
-			cacheBytes = int64(c.NodeCount) * nodeBytes
-		} else {
-			t.editedChunks++
-			rec.Add("chunk-edits", 1)
-			masterBytes = deltaMsgBytes
-			cacheBytes = deltaMsgBytes
-		}
-		t.moveBytesTotal += masterBytes
-		moveBytes[c.Module] += masterBytes
-		if c.Layer == L1 {
-			// Refresh this chunk's cached structure at its ancestor and
-			// descendant L1 chunks (the §3.1 sharing set).
-			for _, holder := range t.cacheHolders(c) {
-				moveBytes[holder] += cacheBytes
+	var moved, edited, movedBytes int64
+	if len(sink.chunks) > 0 {
+		workers := t.layoutWorkers(len(sink.chunks))
+		t.moveLanes.Reset(workers, t.P())
+		parallel.BlocksN(workers, len(sink.chunks), func(w, lo, hi int) {
+			acc := &t.diffAccs[w]
+			lane := t.moveLanes.Lane(w)
+			for _, c := range sink.chunks[lo:hi] {
+				if t.chunks[c.ID] != c {
+					continue // shadowed by an ID collision; the table kept the later build
+				}
+				prev, ok := old[c.ID]
+				mv := c.migrated || (ok && prev.Module != c.Module) || (!ok && initialLoad)
+				ed := !mv &&
+					(!ok || prev.NodeCount != c.NodeCount || prev.Bytes != c.Bytes || t.chunkDirty(c))
+				if !mv && !ed {
+					continue
+				}
+				var masterBytes, cacheBytes int64
+				if mv {
+					acc.moved++
+					masterBytes = c.Bytes
+					cacheBytes = int64(c.NodeCount) * nodeBytes
+				} else {
+					acc.edited++
+					masterBytes = deltaMsgBytes
+					cacheBytes = deltaMsgBytes
+				}
+				acc.bytes += masterBytes
+				lane[c.Module] += masterBytes
+				if c.Layer == L1 {
+					// Refresh this chunk's cached structure at its ancestor
+					// and descendant L1 chunks (the §3.1 sharing set).
+					acc.holders = t.appendCacheHolders(c, acc.holders[:0])
+					for _, holder := range acc.holders {
+						lane[holder] += cacheBytes
+					}
+				}
 			}
+		})
+		for w := 0; w < workers; w++ {
+			moved += t.diffAccs[w].moved
+			edited += t.diffAccs[w].edited
+			movedBytes += t.diffAccs[w].bytes
 		}
+		t.moveLanes.SumInto(moveBytes)
 	}
+	t.movedChunks += moved
+	t.editedChunks += edited
+	t.moveBytesTotal += movedBytes
+	if moved > 0 {
+		rec.Add("chunk-moves", moved)
+	}
+	if edited > 0 {
+		rec.Add("chunk-edits", edited)
+	}
+	anyChange := moved+edited > 0
 	if promoted > 0 && t.l0OnModules {
 		l0Broadcast = promoted * nodeBytes
 	}
@@ -210,50 +261,147 @@ func (t *Tree) relayout() {
 	t.bootstrapped = true
 }
 
+// layoutWorkers returns the fan-out width for a chunk-list pass over n
+// chunks and ensures the per-worker diff accumulators are sized and reset.
+func (t *Tree) layoutWorkers(n int) int {
+	w := parallel.Workers()
+	if w > n {
+		w = n
+	}
+	if cap(t.diffAccs) < w {
+		t.diffAccs = make([]diffAcc, w)
+	}
+	t.diffAccs = t.diffAccs[:cap(t.diffAccs)]
+	for i := range t.diffAccs {
+		t.diffAccs[i].moved = 0
+		t.diffAccs[i].edited = 0
+		t.diffAccs[i].bytes = 0
+	}
+	return w
+}
+
+// layerCounts accumulates one assignLayers branch: layer transitions and
+// the L0 statistics the relayout needs. Branch accumulators are summed
+// after the fork joins.
+type layerCounts struct {
+	promoted, demoted int64
+	l0Count, l0Bytes  int64
+}
+
+func (lc *layerCounts) add(o layerCounts) {
+	lc.promoted += o.promoted
+	lc.demoted += o.demoted
+	lc.l0Count += o.l0Count
+	lc.l0Bytes += o.l0Bytes
+}
+
 // assignLayers walks the tree setting each node's Layer from its lazy
-// snapshot, counting transitions, and accumulating L0 statistics.
-func (t *Tree) assignLayers(n *Node, parentLayer Layer, promoted, demoted *int64) {
+// snapshot, counting transitions and L0 statistics into the returned
+// accumulator. Left/right subtrees are disjoint, so large subtrees fork.
+func (t *Tree) assignLayers(n *Node, parentLayer Layer) layerCounts {
+	var acc layerCounts
 	newLayer := t.layerOf(n, parentLayer)
 	if n.Layer != newLayer && n.Layer != layerNew {
 		if newLayer < n.Layer {
-			*promoted++
+			acc.promoted++
 		} else {
-			*demoted++
+			acc.demoted++
 		}
 	}
 	n.Layer = newLayer
 	if newLayer == L0 {
 		n.Chunk = nil
-	}
-	if newLayer == L0 {
-		t.l0Count++
-		t.l0Bytes += nodeFootprint(n)
+		acc.l0Count++
+		acc.l0Bytes += nodeFootprint(n)
 	}
 	if n.IsLeaf() {
-		return
+		return acc
 	}
-	t.assignLayers(n.Left, newLayer, promoted, demoted)
-	t.assignLayers(n.Right, newLayer, promoted, demoted)
+	if n.Size > layoutGrain && parallel.Workers() > 1 {
+		var left, right layerCounts
+		parallel.Do(
+			func() { left = t.assignLayers(n.Left, newLayer) },
+			func() { right = t.assignLayers(n.Right, newLayer) },
+		)
+		acc.add(left)
+		acc.add(right)
+		return acc
+	}
+	acc.add(t.assignLayers(n.Left, newLayer))
+	acc.add(t.assignLayers(n.Right, newLayer))
+	return acc
+}
+
+// chunkSink collects the chunks built by one chunkify branch, in the walk
+// order the serial pass would have inserted them, plus the migration count.
+// Fork branches fill their own sink; sinks are concatenated left-to-right
+// after the join, reproducing the serial build order exactly.
+type chunkSink struct {
+	chunks     []*Chunk
+	migrations int64
+}
+
+// diffAcc is one worker's accumulator for the chunk diff and footprint
+// passes, plus its cache-holder scratch.
+type diffAcc struct {
+	moved, edited, bytes int64
+	holders              []int
+}
+
+// getSink pops (or creates) an empty branch sink from the freelist.
+func (t *Tree) getSink() *chunkSink {
+	t.arenaMu.Lock()
+	var s *chunkSink
+	if n := len(t.sinkFree); n > 0 {
+		s = t.sinkFree[n-1]
+		t.sinkFree = t.sinkFree[:n-1]
+	}
+	t.arenaMu.Unlock()
+	if s == nil {
+		s = new(chunkSink)
+	}
+	s.chunks = s.chunks[:0]
+	s.migrations = 0
+	return s
+}
+
+func (t *Tree) putSink(s *chunkSink) {
+	t.arenaMu.Lock()
+	t.sinkFree = append(t.sinkFree, s)
+	t.arenaMu.Unlock()
 }
 
 // chunkifyFrom walks from the root creating chunks for every maximal
-// non-L0 region, applying the subtree-size chunking rule of §3.2.
-func (t *Tree) chunkifyFrom(n *Node, parent *Chunk) {
+// non-L0 region, applying the subtree-size chunking rule of §3.2. L0
+// subtrees fork: the chunk regions below disjoint L0 nodes are
+// independent, and each branch builds into its own sink.
+func (t *Tree) chunkifyFrom(n *Node, parent *Chunk, out *chunkSink) {
 	if n.Layer != L0 {
-		t.buildChunk(n, parent)
+		t.buildChunk(n, parent, out)
 		return
 	}
 	if n.IsLeaf() {
 		return
 	}
-	t.chunkifyFrom(n.Left, nil)
-	t.chunkifyFrom(n.Right, nil)
+	if n.Size > layoutGrain && parallel.Workers() > 1 {
+		right := t.getSink()
+		parallel.Do(
+			func() { t.chunkifyFrom(n.Left, nil, out) },
+			func() { t.chunkifyFrom(n.Right, nil, right) },
+		)
+		out.chunks = append(out.chunks, right.chunks...)
+		out.migrations += right.migrations
+		t.putSink(right)
+		return
+	}
+	t.chunkifyFrom(n.Left, nil, out)
+	t.chunkifyFrom(n.Right, nil, out)
 }
 
 // buildChunk creates the chunk rooted at r: r plus every same-layer
 // descendant d reached through members with SC(d) > SC(r)/B. Descendants
 // that fall out of the chunk (or change layer) become child chunk roots.
-func (t *Tree) buildChunk(r *Node, parent *Chunk) *Chunk {
+func (t *Tree) buildChunk(r *Node, parent *Chunk, out *chunkSink) *Chunk {
 	id := chunkID(r)
 	// Placement: a re-rooted chunk (its root already lived in a chunk)
 	// keeps that module — masters do not move when a meta-node is split
@@ -276,7 +424,7 @@ func (t *Tree) buildChunk(r *Node, parent *Chunk) *Chunk {
 	if inherit >= 0 {
 		if t.rehomeThreshold > 0 && t.sys.Module(inherit).StoredBytes() > t.rehomeThreshold && hashModule != inherit {
 			migrated = true // rehome to the hash target
-			t.sys.Recorder().Add("chunk-migrations", 1)
+			out.migrations++
 		} else {
 			module = inherit
 		}
@@ -306,7 +454,7 @@ func (t *Tree) buildChunk(r *Node, parent *Chunk) *Chunk {
 			if ch.Layer == r.Layer && ch.SC > threshold {
 				walk(ch)
 			} else {
-				t.buildChunk(ch, c)
+				t.buildChunk(ch, c, out)
 			}
 		}
 	}
@@ -325,7 +473,7 @@ func (t *Tree) buildChunk(r *Node, parent *Chunk) *Chunk {
 	}
 	c.Bytes += overhead + chunkHeaderBytes
 	c.StructBytes = int64(c.NodeCount)*nodeBytes + overhead + chunkHeaderBytes
-	t.chunks[id] = c
+	out.chunks = append(out.chunks, c)
 	return c
 }
 
@@ -338,47 +486,52 @@ func chunkID(r *Node) uint64 {
 // cacheHolders returns the modules that hold cached copies of c's
 // structure: the modules of its L1 ancestors and L1 descendants (§3.1).
 func (t *Tree) cacheHolders(c *Chunk) []int {
-	var holders []int
+	return t.appendCacheHolders(c, nil)
+}
+
+// appendCacheHolders appends c's cache-holder modules to holders and
+// returns it; callers pass a reused per-worker buffer to stay
+// allocation-free.
+func (t *Tree) appendCacheHolders(c *Chunk, holders []int) []int {
 	for a := c.Parent; a != nil; a = a.Parent {
 		if a.Layer == L1 {
 			holders = append(holders, a.Module)
 		}
 	}
-	var walk func(d *Chunk)
-	walk = func(d *Chunk) {
-		for _, ch := range d.Children {
-			if ch.Layer == L1 {
-				holders = append(holders, ch.Module)
-				walk(ch)
-			}
+	return appendL1Descendants(c, holders)
+}
+
+func appendL1Descendants(c *Chunk, holders []int) []int {
+	for _, ch := range c.Children {
+		if ch.Layer == L1 {
+			holders = append(holders, ch.Module)
+			holders = appendL1Descendants(ch, holders)
 		}
 	}
-	walk(c)
 	return holders
 }
 
 // chunkDirty reports whether any node in c was structurally modified since
-// the last relayout.
+// the last relayout. Runs per chunk inside the parallel diff pass, so the
+// scans over distinct chunks proceed concurrently.
 func (t *Tree) chunkDirty(c *Chunk) bool {
-	var walk func(n *Node) bool
-	walk = func(n *Node) bool {
-		if n.dirty {
-			return true
-		}
-		if n.IsLeaf() {
-			return false
-		}
-		for _, ch := range []*Node{n.Left, n.Right} {
-			if ch.Chunk == c && walk(ch) {
-				return true
-			}
-		}
-		return false
-	}
-	return walk(c.Root)
+	return subtreeDirty(c.Root, c)
 }
 
-// clearDirty resets dirty flags below n.
+func subtreeDirty(n *Node, c *Chunk) bool {
+	if n.dirty {
+		return true
+	}
+	if n.IsLeaf() {
+		return false
+	}
+	if n.Left.Chunk == c && subtreeDirty(n.Left, c) {
+		return true
+	}
+	return n.Right.Chunk == c && subtreeDirty(n.Right, c)
+}
+
+// clearDirty resets dirty flags below n, forking over large subtrees.
 func (t *Tree) clearDirty(n *Node) {
 	if n == nil {
 		return
@@ -387,23 +540,52 @@ func (t *Tree) clearDirty(n *Node) {
 	if n.IsLeaf() {
 		return
 	}
+	if n.Size > layoutGrain && parallel.Workers() > 1 {
+		parallel.Do(
+			func() { t.clearDirty(n.Left) },
+			func() { t.clearDirty(n.Right) },
+		)
+		return
+	}
 	t.clearDirty(n.Left)
 	t.clearDirty(n.Right)
 }
 
 // recomputeFootprints refreshes the modeled per-module memory footprint:
 // master chunks, L1 cache copies, and (if L0 lives on modules) the L0
-// replica.
+// replica. The per-chunk sums fan out over the freshly built chunk list
+// with per-worker lanes.
 func (t *Tree) recomputeFootprints() {
-	foot := make([]int64, t.P())
-	for _, c := range t.chunks {
-		foot[c.Module] += c.Bytes
-		if c.Layer == L1 {
-			struct_ := int64(c.NodeCount) * nodeBytes
-			for _, holder := range t.cacheHolders(c) {
-				foot[holder] += struct_
+	p := t.P()
+	if cap(t.footBuf) < p {
+		t.footBuf = make([]int64, p)
+	}
+	foot := t.footBuf[:p]
+	for i := range foot {
+		foot[i] = 0
+	}
+	list := t.chunkBuild.chunks
+	if len(list) > 0 {
+		workers := t.layoutWorkers(len(list))
+		t.moveLanes.Reset(workers, p)
+		parallel.BlocksN(workers, len(list), func(w, lo, hi int) {
+			acc := &t.diffAccs[w]
+			lane := t.moveLanes.Lane(w)
+			for _, c := range list[lo:hi] {
+				if t.chunks[c.ID] != c {
+					continue // shadowed by an ID collision
+				}
+				lane[c.Module] += c.Bytes
+				if c.Layer == L1 {
+					struct_ := int64(c.NodeCount) * nodeBytes
+					acc.holders = t.appendCacheHolders(c, acc.holders[:0])
+					for _, holder := range acc.holders {
+						lane[holder] += struct_
+					}
+				}
 			}
-		}
+		})
+		t.moveLanes.SumInto(foot)
 	}
 	if t.l0OnModules {
 		for i := range foot {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"pimzdtree/internal/geom"
@@ -208,6 +209,196 @@ func TestGoldenMetrics(t *testing.T) {
 				t.Errorf("outcome diverged from map-router baseline:\n got %+v\nwant %+v", got, tc.want)
 			}
 		})
+	}
+}
+
+// --- Update-path golden (fork-join merge + parallel relayout gate) ---
+//
+// The batch update path (insertRec/deleteRec merge, relayout walks) may
+// fork across goroutines, but every modeled metric, every node counter, and
+// the final tree structure must be byte-identical to the serial walk at any
+// GOMAXPROCS. The values below were captured on the serial (pre-fork-join)
+// update path; re-capture with GOLDEN_PRINT=1 as described above.
+
+// updateGoldenOutcome pins everything an update sequence must reproduce.
+type updateGoldenOutcome struct {
+	TreeHash   uint64 // order-sensitive digest of the full logical tree
+	Points     int
+	Syncs      int64 // Stats().CounterSyncs
+	Promotions int64
+	Demotions  int64
+	Moved      int64
+	Edited     int64
+	MoveBytes  int64
+	Rounds     int64
+	BytesToPIM int64
+	BytesFrom  int64
+	CycleSum   int64
+	CycleTotal int64
+	CPUWork    int64
+	CPUTraffic int64
+}
+
+// hashNode digests the whole subtree in a fixed in-order walk: structure,
+// prefix metadata, the exact/lazy/drift counters of §3.4, layer assignment
+// and leaf payloads. Any divergence introduced by a racy or reordered
+// parallel merge shows up here.
+func hashNode(h uint64, n *Node) uint64 {
+	if n == nil {
+		return fnvStep(h, 0xdead)
+	}
+	h = fnvStep(h, n.Key)
+	h = fnvStep(h, uint64(n.PrefixLen))
+	h = fnvStep(h, uint64(n.Size))
+	h = fnvStep(h, uint64(n.SC))
+	h = fnvStep(h, uint64(n.Delta))
+	h = fnvStep(h, uint64(n.Layer))
+	if n.IsLeaf() {
+		for i, k := range n.Keys {
+			h = fnvStep(h, k)
+			h = fnvStep(h, hashPoint(n.Pts[i]))
+		}
+		return h
+	}
+	h = hashNode(h, n.Left)
+	return hashNode(h, n.Right)
+}
+
+// updateGoldenScenario drives interleaved Insert/Delete/relayout batches —
+// large enough to engage the fork-join merge, with a hot-leaf flood that
+// forces leaf splits and layer promotions — and digests the tree plus all
+// accounting.
+func updateGoldenScenario(t testing.TB, data []geom.Point, tuning Tuning) updateGoldenOutcome {
+	t.Helper()
+	nBuild := len(data) / 2
+	tr := New(testConfig(tuning), data[:nBuild])
+	rest := data[nBuild:]
+	q := len(rest) / 4
+
+	tr.Insert(rest[:2*q])
+	tr.Delete(data[:q])
+	tr.Insert(rest[2*q : 3*q])
+
+	// Hot-leaf flood: thousands of copies of one stored point force a
+	// same-key over-full leaf, then a split once distinct neighbors join,
+	// and enough subtree growth to promote layers at the next relayout.
+	hot := make([]geom.Point, 2200)
+	for i := range hot {
+		hot[i] = rest[0]
+	}
+	tr.Insert(hot)
+	tr.Delete(hot[:1100])
+
+	tr.Delete(data[q : 2*q])
+	tr.Insert(rest[3*q:])
+
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after update sequence: %v", err)
+	}
+	if bad := tr.CheckCounterInvariant(); bad != nil {
+		t.Fatalf("counter invariant violated at node key=%x", bad.Key)
+	}
+
+	s := tr.Stats()
+	m := tr.System().Metrics()
+	return updateGoldenOutcome{
+		TreeHash:   hashNode(14695981039346656037, tr.Root()),
+		Points:     tr.Size(),
+		Syncs:      s.CounterSyncs,
+		Promotions: s.Promotions,
+		Demotions:  s.Demotions,
+		Moved:      s.MovedChunks,
+		Edited:     s.EditedChunks,
+		MoveBytes:  s.MoveBytes,
+		Rounds:     m.Rounds,
+		BytesToPIM: m.BytesToPIM,
+		BytesFrom:  m.BytesFromPIM,
+		CycleSum:   m.PIMCycleSum,
+		CycleTotal: m.PIMCycleTotal,
+		CPUWork:    m.CPUWork,
+		CPUTraffic: m.CPUTraffic,
+	}
+}
+
+// Captured on the serial update path (pre-fork-join), GOMAXPROCS=1; see
+// the re-capture procedure in the file comment.
+var (
+	updateGoldenUniform = updateGoldenOutcome{
+		TreeHash:   0xff2d5db635369e19,
+		Points:     31100,
+		Syncs:      12311,
+		Promotions: 32,
+		Demotions:  0,
+		Moved:      100,
+		Edited:     653,
+		MoveBytes:  511072,
+		Rounds:     41,
+		BytesToPIM: 1221544,
+		BytesFrom:  244272,
+		CycleSum:   70782,
+		CycleTotal: 1037337,
+		CPUWork:    3881780,
+		CPUTraffic: 6149616,
+	}
+	updateGoldenOSM = updateGoldenOutcome{
+		TreeHash:   0xcc40a21f3ce98b08,
+		Points:     31100,
+		Syncs:      15146,
+		Promotions: 83,
+		Demotions:  0,
+		Moved:      2169,
+		Edited:     9344,
+		MoveBytes:  1302720,
+		Rounds:     52,
+		BytesToPIM: 5744248,
+		BytesFrom:  434600,
+		CycleSum:   68599,
+		CycleTotal: 1389456,
+		CPUWork:    4962343,
+		CPUTraffic: 6405432,
+	}
+)
+
+var updateGoldenCases = []struct {
+	name   string
+	data   func() []geom.Point
+	tuning Tuning
+	want   updateGoldenOutcome
+}{
+	{
+		name:   "uniform-throughput",
+		data:   func() []geom.Point { return workload.Uniform(201, 40000, 3) },
+		tuning: ThroughputOptimized,
+		want:   updateGoldenUniform,
+	},
+	{
+		name:   "osm-skewed",
+		data:   func() []geom.Point { return workload.OSMLike(202, 40000, 3) },
+		tuning: SkewResistant,
+		want:   updateGoldenOSM,
+	},
+}
+
+// TestGoldenUpdateMetrics runs the update scenario at GOMAXPROCS 1, 4 and
+// 16: the fork-join merge and the parallel relayout walks must reproduce
+// the pinned serial accounting byte-for-byte at every parallelism level.
+func TestGoldenUpdateMetrics(t *testing.T) {
+	printMode := os.Getenv("GOLDEN_PRINT") != ""
+	for _, tc := range updateGoldenCases {
+		for _, procs := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s-procs%d", tc.name, procs), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				got := updateGoldenScenario(t, tc.data(), tc.tuning)
+				if printMode {
+					fmt.Printf("%s (procs=%d): %#v\n", tc.name, procs, got)
+					return
+				}
+				if got != tc.want {
+					t.Errorf("update accounting diverged from serial baseline:\n got %+v\nwant %+v", got, tc.want)
+				}
+			})
+		}
 	}
 }
 

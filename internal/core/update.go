@@ -5,28 +5,49 @@ import (
 
 	"pimzdtree/internal/geom"
 	"pimzdtree/internal/morton"
+	"pimzdtree/internal/parallel"
 	"pimzdtree/internal/pim"
 )
 
+// updateGrain is the sequential cutoff for the fork-join merge of Alg. 2:
+// sub-batches at or below this size are merged serially. Chosen below the
+// typical experiment batch (3-40k) so real batches fork a few levels deep,
+// and far above goroutine overhead.
+const updateGrain = 1024
+
 // updateStats accumulates the physical costs of one update batch, charged
 // as the communication rounds of Alg. 2 after the logical merge. The
-// per-module lanes are dense (module-indexed) slices owned by the Tree and
-// reused batch to batch; resetUpdateStats re-zeroes them.
+// per-module lanes are dense (module-indexed) slices and the scalars are
+// plain counters, so a fork-join merge can hand each branch its own
+// updateStats arena and sum them after the join: int64 addition commutes,
+// so the merged totals are byte-identical to the serial walk no matter how
+// the branches were scheduled. Each arena also owns the per-goroutine
+// scratch (merged-leaf buffer, delete markers, cache-holder list), which
+// keeps the forked walk lock- and allocation-free in steady state.
 type updateStats struct {
 	leafIn    []int64 // point payload bytes delivered per module (step 3a)
 	leafWork  []int64 // per-module PIM work for leaf edits and splits
 	linkBytes []int64 // parent-child link fixes per module (step 3b)
 	syncBytes []int64 // lazy-counter snapshot propagation (step 3e)
-	half      []int64 // scratch for the two link-fix rounds
+	half      []int64 // scratch for the two link-fix rounds (root stats only)
 	newNodes  int64
 	ops       int64
+
+	// Deferred recorder counters: the serial walk bumped Tree/obs counters
+	// inline, which a forked walk cannot do deterministically; they are
+	// accumulated here and flushed once after the join.
+	syncs      int64 // lazy-counter snapshot syncs (Tree.counterSyncs)
+	leafSplits int64
+
+	// Per-goroutine scratch owned by this arena.
+	merged    []keyed // leaf-merge buffer (insertIntoLeaf)
+	used      []bool  // matched-batch markers (deleteFromLeaf)
+	holderBuf []int   // cacheHolders scratch (counter propagation)
 }
 
-// resetUpdateStats returns the Tree-owned update accumulator with every
-// per-module lane sized to P and zeroed.
-func (t *Tree) resetUpdateStats() *updateStats {
-	st := &t.upStats
-	p := t.P()
+// reset sizes every per-module lane to p and zeroes the accumulators (the
+// scratch buffers keep their capacity).
+func (st *updateStats) reset(p int) {
 	if cap(st.leafIn) < p {
 		st.leafIn = make([]int64, p)
 		st.leafWork = make([]int64, p)
@@ -48,7 +69,73 @@ func (t *Tree) resetUpdateStats() *updateStats {
 	}
 	st.newNodes = 0
 	st.ops = 0
+	st.syncs = 0
+	st.leafSplits = 0
+}
+
+// merge folds a joined branch's arena into st, lane by lane in module
+// order. Called after parallel.Do joins, left branch first, so the merge
+// order is fixed; the sums equal the serial walk's in any case.
+func (st *updateStats) merge(o *updateStats) {
+	for m := range st.leafIn {
+		st.leafIn[m] += o.leafIn[m]
+		st.leafWork[m] += o.leafWork[m]
+		st.linkBytes[m] += o.linkBytes[m]
+		st.syncBytes[m] += o.syncBytes[m]
+	}
+	st.newNodes += o.newNodes
+	st.syncs += o.syncs
+	st.leafSplits += o.leafSplits
+}
+
+// resetUpdateStats returns the Tree-owned root update accumulator with
+// every per-module lane sized to P and zeroed.
+func (t *Tree) resetUpdateStats() *updateStats {
+	t.upStats.reset(t.P())
+	return &t.upStats
+}
+
+// getArena pops (or creates) a fork-branch accumulator arena, reset for P
+// modules. Arenas are recycled through a Tree-owned freelist, so a warmed
+// tree forks without allocating.
+func (t *Tree) getArena() *updateStats {
+	t.arenaMu.Lock()
+	var st *updateStats
+	if n := len(t.arenaFree); n > 0 {
+		st = t.arenaFree[n-1]
+		t.arenaFree = t.arenaFree[:n-1]
+	}
+	t.arenaMu.Unlock()
+	if st == nil {
+		st = new(updateStats)
+	}
+	st.reset(t.P())
 	return st
+}
+
+// putArena returns a merged arena to the freelist.
+func (t *Tree) putArena(st *updateStats) {
+	t.arenaMu.Lock()
+	t.arenaFree = append(t.arenaFree, st)
+	t.arenaMu.Unlock()
+}
+
+// forkMerge reports whether a sub-batch of n keys should fork.
+func forkMerge(n int) bool {
+	return n > updateGrain && parallel.Workers() > 1
+}
+
+// flushUpdateCounters publishes the deferred per-batch counters after the
+// join. The guards keep counter-registry contents identical to the serial
+// walk, which only created an entry when the first event fired.
+func (t *Tree) flushUpdateCounters(st *updateStats) {
+	if st.syncs > 0 {
+		t.counterSyncs += st.syncs
+		t.sys.Recorder().Add("lazy-counter-syncs", st.syncs)
+	}
+	if st.leafSplits > 0 {
+		t.sys.Recorder().Add("leaf-splits", st.leafSplits)
+	}
 }
 
 // moduleOf returns the module holding n's master, or -1 for CPU-resident
@@ -107,6 +194,7 @@ func (t *Tree) Insert(points []geom.Point) {
 		t.root = t.insertRec(t.root, kps, st)
 	}
 	rec.EndPhase()
+	t.flushUpdateCounters(st)
 	rec.BeginPhase("update-rounds")
 	t.chargeUpdateRounds(st)
 	rec.EndPhase()
@@ -119,9 +207,13 @@ func (t *Tree) markNew(n *Node) {
 	n.dirty = true
 }
 
-// insertRec merges the sorted batch into the subtree at n (sequential: the
-// physical parallelism is modeled by the cost accounting, and a serial
-// merge keeps counter updates race-free).
+// insertRec merges the sorted batch into the subtree at n. Left/right
+// recursions cover disjoint subtrees and disjoint sub-batches, so they
+// fork (binary fork-join, as the paper's Alg. 2 divide-and-conquer) once
+// the sub-batch exceeds updateGrain; the forked branch accumulates into
+// its own arena, merged deterministically after the join. Every node's
+// counters are still touched by exactly one goroutine — the one that owns
+// its frame — so per-node state needs no synchronization.
 func (t *Tree) insertRec(n *Node, kps []keyed, st *updateStats) *Node {
 	if len(kps) == 0 {
 		return n
@@ -161,12 +253,21 @@ func (t *Tree) insertRec(n *Node, kps []keyed, st *updateStats) *Node {
 			dirty:     true,
 		}
 		st.newNodes++
-		st.linkBytes[nonNeg(t.moduleOf(n))] += linkMsgBytes
-		same := t.insertRec(n, sameSide, st)
-		other := t.buildLogical(otherSide)
+		// Captured before the recursion: the sub-merge may refresh n in
+		// place (detaching it from its chunk), but the new sibling subtree
+		// is materialized on the module that held n when the batch arrived.
+		mod := nonNeg(t.moduleOf(n))
+		st.linkBytes[mod] += linkMsgBytes
+		var same, other *Node
+		if len(sameSide) > 0 && forkMerge(len(otherSide)) {
+			same, other = t.insertSplitForked(n, sameSide, otherSide, st)
+		} else {
+			same = t.insertRec(n, sameSide, st)
+			other = t.buildLogical(otherSide)
+		}
 		t.markNew(other)
 		st.newNodes += int64(len(otherSide))
-		st.leafIn[nonNeg(t.moduleOf(n))] += int64(len(otherSide)) * pointBytes
+		st.leafIn[mod] += int64(len(otherSide)) * pointBytes
 		if nodeBit == 0 {
 			parent.Left, parent.Right = same, other
 		} else {
@@ -183,9 +284,13 @@ func (t *Tree) insertRec(n *Node, kps []keyed, st *updateStats) *Node {
 
 	// Masters on the path update their exact size; the lazy snapshot
 	// syncs only when the layer window is exceeded (step 3e).
-	t.applyDelta(n, int64(len(kps)), st.syncBytes)
+	t.applyDelta(n, int64(len(kps)), st)
 	bit := t.splitBit(n)
 	split := splitAtBit(kps, bit)
+	if split > 0 && split < len(kps) && forkMerge(len(kps)) {
+		t.insertForked(n, kps, split, st)
+		return n
+	}
 	if split > 0 {
 		n.Left = t.insertRec(n.Left, kps[:split], st)
 	}
@@ -195,14 +300,45 @@ func (t *Tree) insertRec(n *Node, kps []keyed, st *updateStats) *Node {
 	return n
 }
 
+// insertForked runs the two insertRec branches as a binary fork, the right
+// branch on a fresh arena merged after the join. Separate function for the
+// same escape-analysis reason as deleteForked.
+func (t *Tree) insertForked(n *Node, kps []keyed, split int, st *updateStats) {
+	st2 := t.getArena()
+	parallel.Do(
+		func() { n.Left = t.insertRec(n.Left, kps[:split], st) },
+		func() { n.Right = t.insertRec(n.Right, kps[split:], st2) },
+	)
+	st.merge(st2)
+	t.putArena(st2)
+}
+
+// insertSplitForked overlaps the sub-merge into the existing node with the
+// construction of the fresh sibling subtree during an edge split.
+// buildLogical touches no accumulator, so both branches share st.
+func (t *Tree) insertSplitForked(n *Node, sameSide, otherSide []keyed, st *updateStats) (same, other *Node) {
+	parallel.Do(
+		func() { same = t.insertRec(n, sameSide, st) },
+		func() { other = t.buildLogical(otherSide) },
+	)
+	return same, other
+}
+
 // insertIntoLeaf merges sorted kps into leaf n (Alg. 2 steps 2a/2b),
-// splitting overflowing leaves.
+// splitting overflowing leaves. The merge runs in the arena-owned scratch;
+// when the result still fits one leaf, n is refreshed in place (reusing
+// its payload arrays) into exactly the state a freshly built leaf would
+// have, so the fit path allocates nothing in steady state.
 func (t *Tree) insertIntoLeaf(n *Node, kps []keyed, st *updateStats) *Node {
 	mod := nonNeg(t.moduleOf(n))
 	st.leafIn[mod] += int64(len(kps)) * pointBytes
 	st.leafWork[mod] += int64(len(n.Keys)+len(kps)) * 2
 
-	merged := make([]keyed, 0, len(n.Keys)+len(kps))
+	want := len(n.Keys) + len(kps)
+	if cap(st.merged) < want {
+		st.merged = make([]keyed, 0, want)
+	}
+	merged := st.merged[:0]
 	i, j := 0, 0
 	for i < len(n.Keys) && j < len(kps) {
 		if n.Keys[i] <= kps[j].key {
@@ -217,16 +353,45 @@ func (t *Tree) insertIntoLeaf(n *Node, kps []keyed, st *updateStats) *Node {
 		merged = append(merged, keyed{key: n.Keys[i], pt: n.Pts[i]})
 	}
 	merged = append(merged, kps[j:]...)
+	st.merged = merged
 
+	if len(merged) <= t.cfg.LeafCap || merged[0].key == merged[len(merged)-1].key {
+		t.refreshLeaf(n, merged)
+		return n
+	}
+	// Leaf split: new internal structure (Alg. 2 step 2b/2c).
 	replacement := t.buildLogical(merged)
 	t.markNew(replacement)
-	if !replacement.IsLeaf() {
-		// Leaf split: new internal structure (Alg. 2 step 2b/2c).
-		st.newNodes += int64(len(kps)) + 2
-		st.linkBytes[mod] += linkMsgBytes
-		t.sys.Recorder().Add("leaf-splits", 1)
-	}
+	st.newNodes += int64(len(kps)) + 2
+	st.linkBytes[mod] += linkMsgBytes
+	st.leafSplits++
 	return replacement
+}
+
+// refreshLeaf rewrites leaf n over the merged payload, field for field what
+// newLeaf plus markNew would produce for it (layer unassigned, no chunk,
+// dirty, counters exact) — so the layout diff treats the refreshed node
+// exactly like a replacement, while the payload arrays are reused.
+func (t *Tree) refreshLeaf(n *Node, kps []keyed) {
+	n.Keys = n.Keys[:0]
+	n.Pts = n.Pts[:0]
+	for _, kp := range kps {
+		n.Keys = append(n.Keys, kp.key)
+		n.Pts = append(n.Pts, kp.pt)
+	}
+	n.Key = kps[0].key
+	n.Size = int64(len(kps))
+	n.SC = n.Size
+	n.Delta = 0
+	n.Layer = layerNew
+	n.Chunk = nil
+	n.dirty = true
+	if len(kps) == 1 {
+		n.PrefixLen = uint8(t.keyBits())
+	} else {
+		n.PrefixLen = uint8(morton.CommonPrefixLen(kps[0].key, kps[len(kps)-1].key, int(t.cfg.Dims)))
+	}
+	n.Box = morton.PrefixBox(n.Key, uint(n.PrefixLen), t.cfg.Dims)
 }
 
 // cplWithNode caps the common prefix length of key with n at n's prefix.
@@ -356,6 +521,7 @@ func (t *Tree) Delete(points []geom.Point) {
 	rec.BeginPhase("merge")
 	t.root = t.deleteRec(t.root, kps, st)
 	rec.EndPhase()
+	t.flushUpdateCounters(st)
 	rec.BeginPhase("update-rounds")
 	t.chargeUpdateRounds(st)
 	rec.EndPhase()
@@ -370,6 +536,8 @@ func (t *Tree) deleteRec(n *Node, kps []keyed, st *updateStats) *Node {
 	return nn
 }
 
+// deleteRecCount forks left/right over disjoint subtrees like insertRec,
+// with the right branch on its own arena.
 func (t *Tree) deleteRecCount(n *Node, kps []keyed, st *updateStats) (*Node, int64) {
 	if n == nil || len(kps) == 0 {
 		return n, 0
@@ -388,14 +556,21 @@ func (t *Tree) deleteRecCount(n *Node, kps []keyed, st *updateStats) (*Node, int
 	}
 	bit := t.splitBit(n)
 	split := splitAtBit(kps, bit)
-	var removedL, removedR int64
-	if split > 0 {
-		n.Left, removedL = t.deleteRecCount(n.Left, kps[:split], st)
+	var removed int64
+	if split > 0 && split < len(kps) && forkMerge(len(kps)) {
+		removed = t.deleteForked(n, kps, split, st)
+	} else {
+		if split > 0 {
+			var r int64
+			n.Left, r = t.deleteRecCount(n.Left, kps[:split], st)
+			removed += r
+		}
+		if split < len(kps) {
+			var r int64
+			n.Right, r = t.deleteRecCount(n.Right, kps[split:], st)
+			removed += r
+		}
 	}
-	if split < len(kps) {
-		n.Right, removedR = t.deleteRecCount(n.Right, kps[split:], st)
-	}
-	removed := removedL + removedR
 	if n.Left == nil || n.Right == nil {
 		// Path recompression: the survivor replaces n (link fix).
 		survivor := n.Left
@@ -409,15 +584,37 @@ func (t *Tree) deleteRecCount(n *Node, kps []keyed, st *updateStats) (*Node, int
 		return survivor, removed
 	}
 	if removed > 0 {
-		t.applyDelta(n, -removed, st.syncBytes)
+		t.applyDelta(n, -removed, st)
 	}
 	return n, removed
+}
+
+// deleteForked runs the two deleteRecCount branches as a binary fork, the
+// right branch on a fresh arena merged after the join. It exists as a
+// separate function so the closure-captured locals heap-allocate only when
+// a fork actually happens, keeping the serial recursion allocation-free.
+func (t *Tree) deleteForked(n *Node, kps []keyed, split int, st *updateStats) int64 {
+	var removedL, removedR int64
+	st2 := t.getArena()
+	parallel.Do(
+		func() { n.Left, removedL = t.deleteRecCount(n.Left, kps[:split], st) },
+		func() { n.Right, removedR = t.deleteRecCount(n.Right, kps[split:], st2) },
+	)
+	st.merge(st2)
+	t.putArena(st2)
+	return removedL + removedR
 }
 
 func (t *Tree) deleteFromLeaf(n *Node, kps []keyed, st *updateStats) (*Node, int64) {
 	mod := nonNeg(t.moduleOf(n))
 	st.leafWork[mod] += int64(len(n.Keys)) * 2
-	used := make([]bool, len(kps))
+	if cap(st.used) < len(kps) {
+		st.used = make([]bool, len(kps))
+	}
+	used := st.used[:len(kps)]
+	for j := range used {
+		used[j] = false
+	}
 	keepKeys := n.Keys[:0]
 	keepPts := n.Pts[:0]
 	var removed int64

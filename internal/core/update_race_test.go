@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"pimzdtree/internal/geom"
+)
+
+// TestUpdateMultiWorker drives the fork-join update path with several
+// workers: batches well above updateGrain (so insertRec/deleteRecCount
+// genuinely fork onto arena-backed branches), dense duplicate runs that
+// force leaf splits, and enough churn to trigger relayout promotions,
+// demotions and chunk moves — the parallel assignLayers/chunkify/diff
+// passes. Under `make race` (GOMAXPROCS=4 -race) this is the regression
+// net for data races in the forked tree walks, the arena freelists, and
+// the per-worker layout lanes.
+func TestUpdateMultiWorker(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(23))
+	data := randPoints(rng, 50_000, 3, 1<<20)
+	for _, tuning := range []Tuning{ThroughputOptimized, SkewResistant} {
+		tr := New(testConfig(tuning), data[:25_000])
+
+		// Growth batches: each far above updateGrain, landing across the
+		// whole key space so both fork branches stay busy.
+		tr.Insert(data[25_000:40_000])
+		tr.Insert(data[40_000:])
+
+		// Hot flood: thousands of copies of a few points overfill their
+		// leaves (all-same-key leaves, then splits on deletion reshuffle),
+		// and the concentrated growth promotes ancestors — relayout churn.
+		hot := make([]geom.Point, 0, 6_000)
+		for i := 0; i < 6; i++ {
+			p := data[i*1_000]
+			for j := 0; j < 1_000; j++ {
+				hot = append(hot, p)
+			}
+		}
+		tr.Insert(hot)
+		tr.Delete(hot[:3_000])
+
+		// Interleave deletes and re-inserts of large disjoint ranges.
+		tr.Delete(data[:20_000])
+		tr.Insert(data[:20_000])
+		tr.Delete(data[10_000:30_000])
+
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("%v: invariants after parallel updates: %v", tuning, err)
+		}
+		if bad := tr.CheckCounterInvariant(); bad != nil {
+			t.Fatalf("%v: counter invariant violated at node size=%d SC=%d", tuning, bad.Size, bad.SC)
+		}
+		want := 50_000 - 20_000 + 3_000
+		if got := tr.Size(); got != want {
+			t.Fatalf("%v: size after churn = %d, want %d", tuning, got, want)
+		}
+		st := tr.Stats()
+		if st.Promotions == 0 || st.MovedChunks == 0 {
+			t.Fatalf("%v: churn did not exercise relayout (promotions=%d moved=%d)",
+				tuning, st.Promotions, st.MovedChunks)
+		}
+	}
+}

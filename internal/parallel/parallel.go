@@ -215,6 +215,51 @@ func MaxInt64(in []int64, identity int64) int64 {
 	})
 }
 
+// Lanes is a reusable per-worker dense accumulator arena: W int64 lanes of
+// one fixed width, handed out by worker index during a Blocks/BlocksN fan-
+// out and summed lane-by-lane after the join. Because int64 addition is
+// commutative and associative, the merged totals are identical to a serial
+// accumulation no matter how the blocks were scheduled — which is what lets
+// callers with byte-identical accounting requirements (the PIM-model update
+// and layout passes) fork without atomics or mutexes. The backing array is
+// retained across Reset calls, so steady-state passes allocate nothing.
+type Lanes struct {
+	width int
+	buf   []int64
+}
+
+// Reset sizes the arena to workers lanes of the given width and zeroes it.
+func (l *Lanes) Reset(workers, width int) {
+	n := workers * width
+	if cap(l.buf) < n {
+		l.buf = make([]int64, n)
+	}
+	l.buf = l.buf[:n]
+	for i := range l.buf {
+		l.buf[i] = 0
+	}
+	l.width = width
+}
+
+// Lane returns worker w's dense accumulator slice.
+func (l *Lanes) Lane(w int) []int64 {
+	return l.buf[w*l.width : (w+1)*l.width]
+}
+
+// SumInto adds every lane into dst (len(dst) must equal the reset width),
+// in ascending worker order.
+func (l *Lanes) SumInto(dst []int64) {
+	if len(dst) != l.width {
+		panic("parallel: Lanes.SumInto width mismatch")
+	}
+	for w := 0; w*l.width < len(l.buf); w++ {
+		lane := l.Lane(w)
+		for i, v := range lane {
+			dst[i] += v
+		}
+	}
+}
+
 // integer constrains the element types the scan primitives accept.
 type integer interface {
 	~int | ~int32 | ~int64

@@ -75,6 +75,11 @@ func checkBench(path string) error {
 		Panels []struct {
 			Experiment string  `json:"experiment"`
 			Seconds    float64 `json:"seconds"`
+			Phases     []struct {
+				Name    string  `json:"name"`
+				Seconds float64 `json:"seconds"`
+				Ops     int64   `json:"ops"`
+			} `json:"phases"`
 		} `json:"panels"`
 		TotalSeconds float64 `json:"total_seconds"`
 	}
@@ -90,6 +95,22 @@ func checkBench(path string) error {
 		}
 		if p.Seconds <= 0 {
 			return fmt.Errorf("panel %d (%s): non-positive seconds", i, p.Experiment)
+		}
+		// Phase breakdowns are optional per panel, but the fig6 panel must
+		// carry them: it is the update-path trajectory entry.
+		if p.Experiment == "fig6" && len(p.Phases) == 0 {
+			return fmt.Errorf("panel %d (fig6): missing phase breakdown", i)
+		}
+		for j, ph := range p.Phases {
+			if ph.Name == "" {
+				return fmt.Errorf("panel %d (%s): phase %d missing name", i, p.Experiment, j)
+			}
+			if ph.Seconds <= 0 {
+				return fmt.Errorf("panel %d (%s): phase %q non-positive seconds", i, p.Experiment, ph.Name)
+			}
+			if ph.Ops <= 0 {
+				return fmt.Errorf("panel %d (%s): phase %q non-positive ops", i, p.Experiment, ph.Name)
+			}
 		}
 	}
 	if doc.TotalSeconds <= 0 {
