@@ -28,7 +28,10 @@ race:
 	GOMAXPROCS=4 $(GO) test -race ./...
 
 # CLI smoke tests: the trace exporters must emit parseable output
-# (Chrome trace-event JSON with events, and valid JSONL).
+# (Chrome trace-event JSON with events, and valid JSONL); the admin server
+# must come up, pass its health probe, and serve a lint-clean Prometheus
+# exposition; and the perf trajectory must not regress past 50% between the
+# last two recorded BENCH_*.json reports.
 smoke:
 	mkdir -p .smoke
 	$(GO) run ./cmd/pimzd-trace -op search -n 20000 -batch 500 -p 256 \
@@ -41,6 +44,21 @@ smoke:
 		-warmup 20000 -batch 2000 -p 256 -bench-json .smoke/bench.json \
 		> /dev/null
 	$(GO) run ./tools/checkjson -bench .smoke/bench.json
+	$(GO) build -o .smoke/pimzd-serve ./cmd/pimzd-serve
+	./.smoke/pimzd-serve -addr 127.0.0.1:0 -port-file .smoke/port \
+		-n 20000 -batch 1000 -p 128 -iters 10 -duration 60s & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 100); do test -s .smoke/port && break; sleep 0.1; done; \
+	test -s .smoke/port || { kill $$SERVE_PID; echo "serve: no port file"; exit 1; }; \
+	ADDR=$$(cat .smoke/port); \
+	for i in $$(seq 1 100); do \
+		curl -fsS "http://$$ADDR/healthz" > /dev/null 2>&1 && break; sleep 0.2; done; \
+	curl -fsS "http://$$ADDR/healthz" > /dev/null && \
+	curl -fsS "http://$$ADDR/metrics" > .smoke/metrics.txt && \
+	curl -fsS "http://$$ADDR/snapshot/modules" > /dev/null; \
+	RC=$$?; kill $$SERVE_PID 2> /dev/null; test $$RC -eq 0
+	$(GO) run ./tools/checkjson -promtext .smoke/metrics.txt
+	$(GO) run ./tools/checkjson -diff BENCH_4.json BENCH_5.json -threshold 50
 	rm -rf .smoke
 
 # Micro-benchmarks of the parallel substrate (sort, semisort, scan).
@@ -56,5 +74,5 @@ bench-json:
 	$(GO) run ./cmd/pimzd-bench \
 		-experiment fig5a,fig5c,fig6,fig7,fig8,fig9,table2,table3,latency \
 		-format csv -warmup 30000 -batch 3000 -p 256 \
-		-bench-json BENCH_4.json > /dev/null
-	$(GO) run ./tools/checkjson -bench BENCH_4.json
+		-bench-json BENCH_5.json > /dev/null
+	$(GO) run ./tools/checkjson -bench BENCH_5.json

@@ -24,6 +24,7 @@ import (
 
 	"pimzdtree/internal/bench"
 	"pimzdtree/internal/geom"
+	"pimzdtree/internal/metrics"
 	"pimzdtree/internal/obs"
 	"pimzdtree/internal/workload"
 )
@@ -94,9 +95,53 @@ func main() {
 		traceSmp   = flag.Int("trace-sample", 0, "with -trace-out, snapshot module loads every N rounds (0 = off)")
 		benchJSON  = flag.String("bench-json", "", "write per-experiment harness wall-clock and MOp/s to this JSON file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		serveAddr  = flag.String("serve", "", "serve live metrics (/metrics, /healthz, /debug/pprof) on this address while experiments run (host:0 for an ephemeral port)")
 	)
 	flag.Parse()
 	obs.ServePprof(*pprofAddr)
+
+	// Live metrics: one registry outlives the per-experiment recorders, so
+	// a scrape mid-run sees the whole suite's aggregate so far. Modeled
+	// results are unaffected — the recorder is a passive observer.
+	var (
+		liveSink   *metrics.ObsSink
+		wallPanels *metrics.HistogramVec
+	)
+	if *serveAddr != "" {
+		reg := metrics.New()
+		liveSink = metrics.NewObsSink(reg)
+		wallPanels = reg.NewHistogramVec(metrics.HistogramOpts{Opts: metrics.Opts{
+			Name: "pimzd_panel_wall_seconds",
+			Help: "Wall-clock time per experiment panel (real time, not modeled).",
+			Wall: true, Label: "experiment"}})
+		srv, err := metrics.StartAdmin(*serveAddr, metrics.AdminConfig{Registry: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving live metrics on http://%s/metrics\n", srv.Addr())
+	}
+	// newRecorder builds the per-experiment recorder: retained for trace
+	// export when -trace-out is set, streaming-only when just serving.
+	newRecorder := func() *obs.Recorder {
+		if *traceOut == "" && liveSink == nil {
+			return nil
+		}
+		rec := obs.New()
+		rec.SetRetainEvents(*traceOut != "")
+		rec.SetModuleSampling(*traceSmp)
+		if liveSink != nil {
+			rec.SetSink(liveSink)
+			// Keep the imbalance gauges live — but never change the
+			// sampling a trace export would see: trace files must stay
+			// byte-identical with serving on or off.
+			if *traceSmp == 0 && *traceOut == "" {
+				rec.SetModuleSampling(64)
+			}
+		}
+		return rec
+	}
 
 	p := bench.Params{
 		Seed:     *seed,
@@ -154,12 +199,9 @@ func main() {
 			fmt.Printf("== %s ==\n", id)
 		}
 		// Each experiment gets a fresh recorder so its trace files stand
-		// alone; with tracing off, p.Obs stays nil and nothing changes.
-		var rec *obs.Recorder
-		if *traceOut != "" {
-			rec = obs.New()
-			rec.SetModuleSampling(*traceSmp)
-		}
+		// alone; with tracing and serving both off, p.Obs stays nil and
+		// nothing changes.
+		rec := newRecorder()
 		p.Obs = rec
 		switch id {
 		case "fig5a", "fig5b", "fig5c":
@@ -285,12 +327,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
 		}
-		if rec != nil {
+		if rec != nil && *traceOut != "" {
 			if err := writeTraces(*traceOut, id, rec); err != nil {
 				fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
 				os.Exit(1)
 			}
 		}
+		wallPanels.With(id).Observe(time.Since(start).Seconds())
 		if perf != nil {
 			perf.AddPanel(id, time.Since(start).Seconds(), bench.OpsCount())
 		}
@@ -308,16 +351,16 @@ func main() {
 		}
 		p.Dims = pts[0].Dims
 		p.WarmupN = len(pts)
-		if *traceOut != "" {
-			rec := obs.New()
-			rec.SetModuleSampling(*traceSmp)
+		if rec := newRecorder(); rec != nil {
 			p.Obs = rec
-			defer func() {
-				if err := writeTraces(*traceOut, "custom", rec); err != nil {
-					fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
-					os.Exit(1)
-				}
-			}()
+			if *traceOut != "" {
+				defer func() {
+					if err := writeTraces(*traceOut, "custom", rec); err != nil {
+						fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+						os.Exit(1)
+					}
+				}()
+			}
 		}
 		start := time.Now()
 		bench.ResetOpsCount()

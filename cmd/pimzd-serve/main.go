@@ -1,0 +1,277 @@
+// Command pimzd-serve runs a PIM-zd-tree (or a baseline tree) as a
+// long-lived service driven by a synthetic workload, with a live admin
+// HTTP surface — the scrape-able counterpart of pimzd-trace's post-hoc
+// exports. While the workload loop executes batch after batch, the
+// endpoints serve:
+//
+//	/metrics            Prometheus text exposition v0.0.4 (op-latency
+//	                    histograms, round/traffic counters, Fig. 7
+//	                    imbalance gauges; ?modeled=1 for the deterministic
+//	                    subset)
+//	/healthz            health probe (ok once the warmup build finished)
+//	/snapshot/tree      JSON structural tree statistics
+//	/snapshot/modules   JSON per-module cumulative load heatmap
+//	/debug/pprof/       Go runtime profiles
+//
+// Usage:
+//
+//	pimzd-serve -addr 127.0.0.1:8585 -dataset osm -n 400000 -batch 10000
+//	pimzd-serve -addr 127.0.0.1:0 -port-file /tmp/port -duration 60s
+//	pimzd-serve -engine zd -n 100000            # shared-memory baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/costmodel"
+	"pimzdtree/internal/geom"
+	"pimzdtree/internal/metrics"
+	"pimzdtree/internal/obs"
+	"pimzdtree/internal/pkdtree"
+	"pimzdtree/internal/workload"
+	"pimzdtree/internal/zdtree"
+)
+
+// engine abstracts the three tree implementations behind the batch ops the
+// workload loop drives.
+type engine struct {
+	name        string
+	search      func(pts []geom.Point)
+	insert      func(pts []geom.Point)
+	remove      func(pts []geom.Point)
+	knn         func(pts []geom.Point, k int)
+	box         func(boxes []geom.Box)
+	stats       func() any
+	moduleLoads func() (cycles, bytes []int64) // nil for baselines
+}
+
+func newEngine(kind string, dims uint8, p int, tuning core.Tuning, rec *obs.Recorder, warm []geom.Point) engine {
+	switch kind {
+	case "pim":
+		machine := costmodel.UPMEMServer()
+		machine.PIMModules = p
+		t := core.New(core.Config{
+			Dims: dims, Machine: machine, Tuning: tuning,
+			Obs: rec, LoadStats: true,
+		}, warm)
+		return engine{
+			name:        "pim",
+			search:      func(pts []geom.Point) { t.Search(pts) },
+			insert:      func(pts []geom.Point) { t.Insert(pts) },
+			remove:      func(pts []geom.Point) { t.Delete(pts) },
+			knn:         func(pts []geom.Point, k int) { t.KNN(pts, k) },
+			box:         func(boxes []geom.Box) { t.BoxCount(boxes) },
+			stats:       func() any { return t.Stats() },
+			moduleLoads: t.System().ModuleLoads,
+		}
+	case "zd":
+		t := zdtree.New(zdtree.Config{Dims: dims, Obs: rec}, warm)
+		return engine{
+			name:   "zd",
+			search: func(pts []geom.Point) { batchContains(pts, t.Contains) },
+			insert: func(pts []geom.Point) { t.Insert(pts) },
+			remove: func(pts []geom.Point) { t.Delete(pts) },
+			knn:    func(pts []geom.Point, k int) { t.KNNBatch(pts, k, geom.L2) },
+			box:    func(boxes []geom.Box) { t.BoxCountBatch(boxes) },
+			stats:  func() any { return t.Stats() },
+		}
+	case "pkd":
+		t := pkdtree.New(pkdtree.Config{Dims: dims, Obs: rec}, warm)
+		return engine{
+			name:   "pkd",
+			search: func(pts []geom.Point) { batchContains(pts, t.Contains) },
+			insert: func(pts []geom.Point) { t.Insert(pts) },
+			remove: func(pts []geom.Point) { t.Delete(pts) },
+			knn:    func(pts []geom.Point, k int) { t.KNNBatch(pts, k, geom.L2) },
+			box:    func(boxes []geom.Box) { t.BoxCountBatch(boxes) },
+			stats:  func() any { return t.Stats() },
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q (pim, zd, pkd)\n", kind)
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+func batchContains(pts []geom.Point, contains func(geom.Point) bool) {
+	for _, p := range pts {
+		contains(p)
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8585", "admin HTTP address (host:0 for an ephemeral port)")
+		portFile = flag.String("port-file", "", "write the bound admin address to this file once listening")
+		engName  = flag.String("engine", "pim", "tree engine: pim, zd, pkd")
+		dataset  = flag.String("dataset", "uniform", "workload: uniform, cosmos, osm")
+		n        = flag.Int("n", 200_000, "warmup points")
+		batch    = flag.Int("batch", 5_000, "operations per workload batch")
+		modules  = flag.Int("p", 512, "PIM modules (pim engine)")
+		dims     = flag.Int("dims", 3, "point dimensionality (2-4)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		tuning   = flag.String("tuning", "throughput", "tuning: throughput or skew (pim engine)")
+		k        = flag.Int("k", 8, "k for knn batches")
+		sample   = flag.Int("sample", 32, "snapshot module loads every N rounds (0 = off)")
+		opsMix   = flag.String("ops", "search,insert,knn,box,delete", "comma-separated batch mix, cycled in order")
+		iters    = flag.Int("iters", 0, "stop the workload after this many batches (0 = no limit)")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = run until killed)")
+		pause    = flag.Duration("pause", 0, "sleep between batches")
+	)
+	flag.Parse()
+
+	tun := core.ThroughputOptimized
+	switch *tuning {
+	case "throughput":
+	case "skew":
+		tun = core.SkewResistant
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tuning %q\n", *tuning)
+		os.Exit(2)
+	}
+	var ds workload.Dataset
+	switch *dataset {
+	case "uniform":
+		ds = workload.DatasetUniform
+	case "cosmos":
+		ds = workload.DatasetCosmos
+	case "osm":
+		ds = workload.DatasetOSM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	// Live metrics plumbing: a retention-free recorder streams every
+	// event into the registry and stores nothing, so the server can run
+	// indefinitely.
+	reg := metrics.New()
+	rec := obs.New()
+	rec.SetRetainEvents(false)
+	rec.SetSink(metrics.NewObsSink(reg))
+	rec.SetModuleSampling(*sample)
+	wallSeconds := reg.NewHistogramVec(metrics.HistogramOpts{Opts: metrics.Opts{
+		Name: "pimzd_batch_wall_seconds",
+		Help: "Wall-clock time per workload batch (real time, not modeled).",
+		Wall: true, Label: "op"}})
+	uptime := reg.NewGauge(metrics.Opts{Name: "pimzd_uptime_seconds",
+		Help: "Wall-clock seconds since the server started.", Wall: true})
+
+	var ready atomic.Bool
+	var eng engine
+	srv, err := metrics.StartAdmin(*addr, metrics.AdminConfig{
+		Registry: reg,
+		TreeStats: func() any {
+			if !ready.Load() {
+				return struct{}{}
+			}
+			return eng.stats()
+		},
+		ModuleLoads: func() (cycles, bytes []int64) {
+			if !ready.Load() || eng.moduleLoads == nil {
+				return nil, nil
+			}
+			return eng.moduleLoads()
+		},
+		Health: func() error {
+			if !ready.Load() {
+				return fmt.Errorf("warming up")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimzd-serve: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("pimzd-serve: admin on http://%s (engine=%s dataset=%s n=%d batch=%d)\n",
+		srv.Addr(), *engName, *dataset, *n, *batch)
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pimzd-serve: port-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Point pool: warmup prefix plus a rolling insert stream. Inserted
+	// chunks queue up and are deleted in FIFO order, keeping the live tree
+	// size within one stream of the warmup size.
+	pool := ds.Generate(*seed, *n+8**batch, uint8(*dims))
+	warm := pool[:*n]
+	stream := pool[*n:]
+	eng = newEngine(*engName, uint8(*dims), *modules, tun, rec, warm)
+	ready.Store(true)
+
+	boxes := workload.QueryBoxes(*seed+1, warm, max(*batch/16, 1), 64)
+	rng := rand.New(rand.NewSource(*seed + 2))
+	queries := func() []geom.Point {
+		qs := make([]geom.Point, *batch)
+		for i := range qs {
+			qs[i] = pool[rng.Intn(len(pool))]
+		}
+		return qs
+	}
+
+	mix := strings.Split(*opsMix, ",")
+	var pending [][]geom.Point // inserted, not yet deleted
+	streamOff := 0
+	start := time.Now()
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = start.Add(*duration)
+	}
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		op := strings.TrimSpace(mix[i%len(mix)])
+		t0 := time.Now()
+		switch op {
+		case "search":
+			eng.search(queries())
+		case "insert":
+			if streamOff+*batch > len(stream) {
+				streamOff = 0
+			}
+			chunk := stream[streamOff : streamOff+*batch]
+			streamOff += *batch
+			eng.insert(chunk)
+			pending = append(pending, chunk)
+		case "delete":
+			if len(pending) > 0 {
+				eng.remove(pending[0])
+				pending = pending[1:]
+			}
+		case "knn":
+			eng.knn(queries()[:max(*batch/8, 1)], *k)
+		case "box":
+			eng.box(boxes)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown op %q in -ops\n", op)
+			os.Exit(2)
+		}
+		wallSeconds.With(op).Observe(time.Since(t0).Seconds())
+		uptime.Set(time.Since(start).Seconds())
+		if *pause > 0 {
+			time.Sleep(*pause)
+		}
+	}
+
+	// Workload done (bounded -iters); keep serving until -duration elapses
+	// or forever, so scrapers can still read the final state.
+	if deadline.IsZero() {
+		if *iters > 0 {
+			select {} // serve forever
+		}
+		return
+	}
+	time.Sleep(time.Until(deadline))
+}

@@ -124,6 +124,11 @@ type Config struct {
 	// instrumentation at the cost of one pointer test per annotation.
 	Obs *obs.Recorder
 
+	// LoadStats enables cumulative per-module load accounting on the PIM
+	// system (pim.System.ModuleLoads) — the whole-run skew heatmap the
+	// admin server's /snapshot/modules endpoint serves.
+	LoadStats bool
+
 	// Ablation switches (Table 3). All default to the full design.
 	DisableLazyCounters bool // propagate counters eagerly on every update
 	NaiveZOrder         bool // bit-at-a-time Morton keys on the host
@@ -284,6 +289,9 @@ func New(cfg Config, points []geom.Point) *Tree {
 	}
 	t.sys.DirectAPI = !cfg.DisableDirectAPI
 	t.sys.SetRecorder(cfg.Obs)
+	if cfg.LoadStats {
+		t.sys.EnableModuleLoadStats()
+	}
 	rec := t.sys.Recorder()
 	rec.BeginOp("build")
 	if len(points) > 0 {

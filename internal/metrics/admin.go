@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"pimzdtree/internal/obs"
+)
+
+// Admin HTTP surface: the scrape-able face of the registry plus JSON
+// snapshots of live index state. Endpoints:
+//
+//	GET /metrics           Prometheus text exposition v0.0.4; names sorted,
+//	                       deterministic. ?modeled=1 drops wall-clock
+//	                       families so the output is byte-identical across
+//	                       identical runs (what CI golden-tests).
+//	GET /healthz           "ok" once the configured health check passes.
+//	GET /snapshot/tree     JSON structural snapshot of the served tree.
+//	GET /snapshot/modules  JSON per-module cumulative load heatmap with
+//	                       p50/p99/max/mean cycles+bytes and the Fig. 7
+//	                       imbalance factor.
+//	GET /debug/pprof/*     Go runtime profiles.
+//	GET /                  plain-text endpoint index.
+
+// AdminConfig wires the server to its data sources. Any source may be nil:
+// the corresponding endpoint then reports 404 (snapshots) or stays
+// healthy-by-default (Health).
+type AdminConfig struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// TreeStats returns a JSON-marshalable structural snapshot of the
+	// served index (e.g. core.Tree.Stats()).
+	TreeStats func() any
+	// ModuleLoads returns the cumulative per-module cycle and byte loads
+	// (pim.System.ModuleLoads) backing /snapshot/modules.
+	ModuleLoads func() (cycles, bytes []int64)
+	// Health returns nil when the server should report healthy.
+	Health func() error
+}
+
+// ModuleSnapshot is the /snapshot/modules response.
+type ModuleSnapshot struct {
+	P         int      `json:"p"`
+	Active    int      `json:"active"` // modules with any load so far
+	Cycles    obs.Dist `json:"cycles"` // distribution over active modules
+	Bytes     obs.Dist `json:"bytes"`
+	Imbalance float64  `json:"imbalance"`
+	// Dense per-module vectors (index = module id), the heatmap proper.
+	CyclesPerModule []int64 `json:"cycles_per_module"`
+	BytesPerModule  []int64 `json:"bytes_per_module"`
+}
+
+// NewAdminHandler builds the admin mux.
+func NewAdminHandler(cfg AdminConfig) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "pimzd admin endpoints:\n"+
+			"  /metrics            Prometheus text exposition (?modeled=1 for the deterministic subset)\n"+
+			"  /healthz            health probe\n"+
+			"  /snapshot/tree      JSON tree statistics\n"+
+			"  /snapshot/modules   JSON per-module load heatmap\n"+
+			"  /debug/pprof/       Go runtime profiles\n")
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Registry == nil {
+			http.Error(w, "no registry", http.StatusNotFound)
+			return
+		}
+		modeledOnly := r.URL.Query().Get("modeled") == "1"
+		w.Header().Set("Content-Type", ContentType)
+		if err := cfg.Registry.WriteText(w, modeledOnly); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: write: %v\n", err)
+		}
+	})
+
+	mux.HandleFunc("/snapshot/tree", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.TreeStats == nil {
+			http.Error(w, "no tree attached", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, cfg.TreeStats())
+	})
+
+	mux.HandleFunc("/snapshot/modules", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.ModuleLoads == nil {
+			http.Error(w, "module load accounting not enabled", http.StatusNotFound)
+			return
+		}
+		cycles, bytes := cfg.ModuleLoads()
+		writeJSON(w, NewModuleSnapshot(cycles, bytes))
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// NewModuleSnapshot summarizes dense per-module load vectors into the
+// heatmap response: distributions are computed over active modules only
+// (obs.NewLoadProfile semantics), the dense vectors are returned verbatim.
+func NewModuleSnapshot(cycles, bytes []int64) ModuleSnapshot {
+	var activeCycles, activeBytes []int64
+	for i := range cycles {
+		if cycles[i] != 0 || bytes[i] != 0 {
+			activeCycles = append(activeCycles, cycles[i])
+			activeBytes = append(activeBytes, bytes[i])
+		}
+	}
+	p := obs.NewLoadProfile(activeCycles, activeBytes)
+	return ModuleSnapshot{
+		P:               len(cycles),
+		Active:          p.Active,
+		Cycles:          p.Cycles,
+		Bytes:           p.Bytes,
+		Imbalance:       p.Imbalance,
+		CyclesPerModule: cycles,
+		BytesPerModule:  bytes,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: snapshot: %v\n", err)
+	}
+}
+
+// AdminServer is a running admin endpoint.
+type AdminServer struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// StartAdmin binds addr (":0" for an ephemeral port) and serves the admin
+// mux from a background goroutine.
+func StartAdmin(addr string, cfg AdminConfig) (*AdminServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewAdminHandler(cfg)}
+	go func() {
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "admin: %v\n", err)
+		}
+	}()
+	return &AdminServer{l: l, srv: srv}, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *AdminServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server.
+func (s *AdminServer) Close() error { return s.srv.Close() }

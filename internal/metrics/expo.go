@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition, format version 0.0.4. The writer is
+// deterministic: families render in sorted name order, series in sorted
+// label-value order, histogram buckets in bound order, and every float
+// formats with shortest round-trip precision — so the modeled-only
+// exposition of two identical runs is byte-identical.
+
+// ContentType is the HTTP Content-Type of the exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders the registry. With modeledOnly, families registered
+// with Wall=true (real-time measurements) are skipped, leaving only the
+// deterministic modeled metrics CI can golden-test.
+func (r *Registry) WriteText(w io.Writer, modeledOnly bool) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if modeledOnly && f.opts.Wall {
+			continue
+		}
+		f.writeText(bw)
+	}
+	return bw.Flush()
+}
+
+// writeText renders one family block.
+func (f *family) writeText(w *bufio.Writer) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.opts.Name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.opts.Help))
+	w.WriteByte('\n')
+	w.WriteString("# TYPE ")
+	w.WriteString(f.opts.Name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ.String())
+	w.WriteByte('\n')
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := f.series[k]
+		switch f.typ {
+		case TypeCounter, TypeGauge:
+			w.WriteString(f.opts.Name)
+			writeLabels(w, f.opts.Label, k, "", "")
+			w.WriteByte(' ')
+			w.WriteString(formatValue(s.val))
+			w.WriteByte('\n')
+		case TypeHistogram:
+			var cum uint64
+			for i, b := range f.bounds {
+				cum += s.buckets[i]
+				w.WriteString(f.opts.Name)
+				w.WriteString("_bucket")
+				writeLabels(w, f.opts.Label, k, "le", formatValue(b))
+				w.WriteByte(' ')
+				w.WriteString(strconv.FormatUint(cum, 10))
+				w.WriteByte('\n')
+			}
+			w.WriteString(f.opts.Name)
+			w.WriteString("_bucket")
+			writeLabels(w, f.opts.Label, k, "le", "+Inf")
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatUint(s.count, 10))
+			w.WriteByte('\n')
+			w.WriteString(f.opts.Name)
+			w.WriteString("_sum")
+			writeLabels(w, f.opts.Label, k, "", "")
+			w.WriteByte(' ')
+			w.WriteString(formatValue(s.sum))
+			w.WriteByte('\n')
+			w.WriteString(f.opts.Name)
+			w.WriteString("_count")
+			writeLabels(w, f.opts.Label, k, "", "")
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatUint(s.count, 10))
+			w.WriteByte('\n')
+		}
+	}
+}
+
+// writeLabels renders the label set: the family's own dimension (when it
+// has one) plus an optional extra pair (histograms' le).
+func writeLabels(w *bufio.Writer, labelName, labelValue, extraName, extraValue string) {
+	if labelName == "" && extraName == "" {
+		return
+	}
+	w.WriteByte('{')
+	if labelName != "" {
+		w.WriteString(labelName)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(labelValue))
+		w.WriteByte('"')
+		if extraName != "" {
+			w.WriteByte(',')
+		}
+	}
+	if extraName != "" {
+		w.WriteString(extraName)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(extraValue))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// formatValue renders a float the shortest way that round-trips.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,410 @@
+// Package metrics is the live-observability layer of the reproduction: a
+// dependency-free, deterministic metrics registry that aggregates the
+// event stream internal/obs records into scrape-able state — monotonic
+// counters, gauges, and fixed log-bucket latency histograms — plus the
+// Prometheus text exposition (v0.0.4) that serves it.
+//
+// Where internal/obs answers "what happened during this run" after the
+// fact (span trees, Chrome traces, JSONL diffs), this package answers
+// "what is happening right now" for a long-running server: every BSP
+// round, CPU phase, closed operation span and tree counter feeds the
+// registry as it occurs (see ObsSink), and an admin HTTP server exposes
+// the aggregate at any moment.
+//
+// Determinism contract: metrics derived from modeled quantities (cycles,
+// bytes, modeled seconds) are byte-identical across identical runs, like
+// everything in obs — histogram buckets are fixed powers of four, names
+// and label values serialize sorted, and floats format via
+// strconv.FormatFloat with shortest round-trip precision. Wall-clock
+// metrics (marked Wall at registration) are real time and therefore vary;
+// the exposition writer can exclude them so CI can golden-test the
+// modeled remainder.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Type classifies a metric family for the exposition.
+type Type uint8
+
+const (
+	// TypeCounter is a monotonically increasing total.
+	TypeCounter Type = iota + 1
+	// TypeGauge is a value that can go up and down.
+	TypeGauge
+	// TypeHistogram is a fixed-bucket distribution with sum and count.
+	TypeHistogram
+)
+
+// String names the type as the exposition format spells it.
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Opts names a metric family.
+type Opts struct {
+	Name string // exposition name, e.g. "pimzd_rounds_total"
+	Help string // one-line description
+	// Wall marks the family as wall-clock-derived: excluded from the
+	// modeled-only exposition that CI golden-tests (everything else in the
+	// registry must be deterministic run-to-run).
+	Wall bool
+	// Label is the single label dimension of a Vec family ("" for an
+	// unlabeled singleton). One dimension covers every use here (op,
+	// phase, component) and keeps series ordering trivially deterministic.
+	Label string
+}
+
+// family is one named metric with its series (one per label value;
+// unlabeled families hold exactly the "" series).
+type family struct {
+	opts    Opts
+	typ     Type
+	bounds  []float64 // histogram upper bounds (histograms only)
+	mu      sync.Mutex
+	series  map[string]*series
+}
+
+// series is the value cell of one (family, label value) pair.
+type series struct {
+	val     float64  // counter / gauge value
+	buckets []uint64 // histogram: observations <= bounds[i] (cumulative at export)
+	sum     float64
+	count   uint64
+}
+
+// Registry holds metric families. The zero value is not used; create with
+// New. A nil *Registry is the disabled registry: every constructor returns
+// a nil handle and nil handles accept updates as no-ops, mirroring the
+// nil-*obs.Recorder convention.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register creates or fetches a family, enforcing one type per name.
+func (r *Registry) register(opts Opts, typ Type, bounds []float64) *family {
+	if opts.Name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[opts.Name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("metrics: %s re-registered as %v (was %v)", opts.Name, typ, f.typ))
+		}
+		return f
+	}
+	f := &family{opts: opts, typ: typ, bounds: bounds, series: make(map[string]*series)}
+	r.families[opts.Name] = f
+	return f
+}
+
+// cell fetches or creates the series for one label value.
+func (f *family) cell(label string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[label]
+	if !ok {
+		s = &series{}
+		if f.typ == TypeHistogram {
+			s.buckets = make([]uint64, len(f.bounds))
+		}
+		f.series[label] = s
+	}
+	return s
+}
+
+// Counter is a monotonic total. A nil *Counter discards updates.
+type Counter struct {
+	f *family
+	s *series
+}
+
+// NewCounter registers (or fetches) an unlabeled counter.
+func (r *Registry) NewCounter(opts Opts) *Counter {
+	if r == nil {
+		return nil
+	}
+	opts.Label = ""
+	f := r.register(opts, TypeCounter, nil)
+	return &Counter{f: f, s: f.cell("")}
+}
+
+// Add increments the counter. Negative deltas are ignored (counters are
+// monotonic by contract).
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	c.f.mu.Lock()
+	c.s.val += delta
+	c.f.mu.Unlock()
+}
+
+// SetTotal raises the counter to total if total is larger — the bridge for
+// upstream registries (the obs named-counter registry) that report running
+// totals rather than deltas.
+func (c *Counter) SetTotal(total float64) {
+	if c == nil {
+		return
+	}
+	c.f.mu.Lock()
+	if total > c.s.val {
+		c.s.val = total
+	}
+	c.f.mu.Unlock()
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	return c.s.val
+}
+
+// CounterVec is a counter family with one label dimension.
+type CounterVec struct {
+	f  *family
+	mu sync.Mutex
+	by map[string]*Counter
+}
+
+// NewCounterVec registers a labeled counter family. opts.Label must name
+// the dimension.
+func (r *Registry) NewCounterVec(opts Opts) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	if opts.Label == "" {
+		panic("metrics: CounterVec requires a label name")
+	}
+	return &CounterVec{f: r.register(opts, TypeCounter, nil), by: make(map[string]*Counter)}
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.by[value]
+	if !ok {
+		c = &Counter{f: v.f, s: v.f.cell(value)}
+		v.by[value] = c
+	}
+	return c
+}
+
+// Gauge is a settable value. A nil *Gauge discards updates.
+type Gauge struct {
+	f *family
+	s *series
+}
+
+// NewGauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) NewGauge(opts Opts) *Gauge {
+	if r == nil {
+		return nil
+	}
+	opts.Label = ""
+	f := r.register(opts, TypeGauge, nil)
+	return &Gauge{f: f, s: f.cell("")}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.f.mu.Lock()
+	g.s.val = v
+	g.f.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.f.mu.Lock()
+	defer g.f.mu.Unlock()
+	return g.s.val
+}
+
+// GaugeVec is a gauge family with one label dimension.
+type GaugeVec struct {
+	f  *family
+	mu sync.Mutex
+	by map[string]*Gauge
+}
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(opts Opts) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	if opts.Label == "" {
+		panic("metrics: GaugeVec requires a label name")
+	}
+	return &GaugeVec{f: r.register(opts, TypeGauge, nil), by: make(map[string]*Gauge)}
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.by[value]
+	if !ok {
+		g = &Gauge{f: v.f, s: v.f.cell(value)}
+		v.by[value] = g
+	}
+	return g
+}
+
+// Histogram is a fixed log-bucket distribution. A nil *Histogram discards
+// observations.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// HistogramOpts extends Opts with the bucket layout.
+type HistogramOpts struct {
+	Opts
+	// Buckets are the upper bounds, strictly increasing. nil defaults to
+	// SecondsBuckets().
+	Buckets []float64
+}
+
+func (o *HistogramOpts) bounds() []float64 {
+	if o.Buckets == nil {
+		return SecondsBuckets()
+	}
+	for i := 1; i < len(o.Buckets); i++ {
+		if o.Buckets[i] <= o.Buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s: buckets not strictly increasing", o.Name))
+		}
+	}
+	return o.Buckets
+}
+
+// NewHistogram registers (or fetches) an unlabeled histogram.
+func (r *Registry) NewHistogram(opts HistogramOpts) *Histogram {
+	if r == nil {
+		return nil
+	}
+	opts.Label = ""
+	f := r.register(opts.Opts, TypeHistogram, opts.bounds())
+	return &Histogram{f: f, s: f.cell("")}
+}
+
+// HistogramVec is a histogram family with one label dimension.
+type HistogramVec struct {
+	f  *family
+	mu sync.Mutex
+	by map[string]*Histogram
+}
+
+// NewHistogramVec registers a labeled histogram family.
+func (r *Registry) NewHistogramVec(opts HistogramOpts) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if opts.Label == "" {
+		panic("metrics: HistogramVec requires a label name")
+	}
+	return &HistogramVec{f: r.register(opts.Opts, TypeHistogram, opts.bounds()), by: make(map[string]*Histogram)}
+}
+
+// With returns the histogram for one label value, creating it on first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.by[value]
+	if !ok {
+		h = &Histogram{f: v.f, s: v.f.cell(value)}
+		v.by[value] = h
+	}
+	return h
+}
+
+// Observe records one value. Buckets store per-bucket (non-cumulative)
+// counts internally; the exposition writer accumulates them, so Observe is
+// O(log buckets).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	f := h.f
+	i := sort.SearchFloat64s(f.bounds, v) // first bound >= v
+	f.mu.Lock()
+	if i < len(h.s.buckets) {
+		h.s.buckets[i]++
+	}
+	h.s.sum += v
+	h.s.count++
+	f.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	return h.s.count
+}
+
+// SecondsBuckets returns the standard latency layout: powers of four from
+// 2^-30 s (~1 ns) through 2^8 s (256 s), 20 bounds. Powers of two are
+// exactly representable in float64, so bounds — and their shortest
+// round-trip decimal forms in the exposition — are platform-independent.
+func SecondsBuckets() []float64 {
+	return ldexpBuckets(-30, 8)
+}
+
+// CountBuckets returns the standard magnitude layout for dimensionless
+// quantities (rounds, cycles, bytes, modules): powers of four from 1
+// through 4^12 (~16.8M), 13 bounds.
+func CountBuckets() []float64 {
+	return ldexpBuckets(0, 24)
+}
+
+// ldexpBuckets returns 2^lo, 2^(lo+2), ..., 2^hi.
+func ldexpBuckets(lo, hi int) []float64 {
+	var out []float64
+	for e := lo; e <= hi; e += 2 {
+		out = append(out, math.Ldexp(1, e))
+	}
+	return out
+}

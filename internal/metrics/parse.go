@@ -1,0 +1,359 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parser for the text exposition — the consumer side of expo.go, used by
+// the round-trip tests and by `checkjson -promtext`, the CI lint that
+// gates what the admin server serves. It accepts the v0.0.4 subset the
+// writer emits (HELP/TYPE comments, single-line samples, optional
+// timestamps are rejected since the writer never produces them).
+
+// ParsedSample is one sample line.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one HELP/TYPE block with its samples in file order.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseText parses an exposition into families. Samples must follow their
+// family's TYPE line; a sample with no preceding TYPE is an error (the
+// writer always emits headers).
+func ParseText(r io.Reader) ([]ParsedFamily, error) {
+	var fams []ParsedFamily
+	index := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			i, seen := index[name]
+			if !seen {
+				i = len(fams)
+				index[name] = i
+				fams = append(fams, ParsedFamily{Name: name})
+			}
+			switch kind {
+			case "HELP":
+				fams[i].Help = unescapeHelp(rest)
+			case "TYPE":
+				if fams[i].Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if rest != "counter" && rest != "gauge" && rest != "histogram" && rest != "summary" && rest != "untyped" {
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, rest)
+				}
+				fams[i].Type = rest
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyNameOf(s.Name)
+		i, seen := index[fam]
+		if !seen || fams[i].Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s before its TYPE line", lineNo, s.Name)
+		}
+		fams[i].Samples = append(fams[i].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// LintText parses and structurally validates an exposition: sorted family
+// order (the registry's determinism contract), per-type sample-name rules,
+// and histogram invariants (cumulative buckets, +Inf == count, sum/count
+// present once per series).
+func LintText(r io.Reader) error {
+	fams, err := ParseText(r)
+	if err != nil {
+		return err
+	}
+	if len(fams) == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	for i, f := range fams {
+		if f.Type == "" {
+			return fmt.Errorf("%s: missing TYPE", f.Name)
+		}
+		if i > 0 && fams[i-1].Name >= f.Name {
+			return fmt.Errorf("families out of sorted order: %s before %s", fams[i-1].Name, f.Name)
+		}
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Samples {
+				if s.Name != f.Name {
+					return fmt.Errorf("%s: stray sample name %s", f.Name, s.Name)
+				}
+				if s.Value < 0 {
+					return fmt.Errorf("%s: negative counter value %v", f.Name, s.Value)
+				}
+			}
+		case "gauge":
+			for _, s := range f.Samples {
+				if s.Name != f.Name {
+					return fmt.Errorf("%s: stray sample name %s", f.Name, s.Name)
+				}
+			}
+		case "histogram":
+			if err := lintHistogram(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks one histogram family's bucket structure.
+func lintHistogram(f ParsedFamily) error {
+	type state struct {
+		last    float64 // previous cumulative bucket value
+		lastLe  float64
+		inf     float64
+		hasInf  bool
+		sum     bool
+		count   float64
+		hasCnt  bool
+		buckets int
+	}
+	series := make(map[string]*state)
+	order := []string{}
+	get := func(labels map[string]string) *state {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		key := strings.Join(parts, ",")
+		st, ok := series[key]
+		if !ok {
+			st = &state{lastLe: math.Inf(-1)}
+			series[key] = st
+			order = append(order, key)
+		}
+		return st
+	}
+	for _, s := range f.Samples {
+		st := get(s.Labels)
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = math.Inf(1)
+				st.inf = s.Value
+				st.hasInf = true
+			} else {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("%s: bad le %q: %v", f.Name, le, err)
+				}
+				bound = v
+			}
+			if bound <= st.lastLe {
+				return fmt.Errorf("%s: le bounds not increasing (%v after %v)", f.Name, bound, st.lastLe)
+			}
+			if s.Value < st.last {
+				return fmt.Errorf("%s: bucket counts not cumulative at le=%q", f.Name, le)
+			}
+			st.lastLe, st.last = bound, s.Value
+			st.buckets++
+		case f.Name + "_sum":
+			st.sum = true
+		case f.Name + "_count":
+			st.count, st.hasCnt = s.Value, true
+		default:
+			return fmt.Errorf("%s: stray sample name %s", f.Name, s.Name)
+		}
+	}
+	if len(order) == 0 {
+		return nil // a registered histogram with no series yet is legal
+	}
+	for _, key := range order {
+		st := series[key]
+		if !st.hasInf {
+			return fmt.Errorf("%s{%s}: missing +Inf bucket", f.Name, key)
+		}
+		if !st.sum || !st.hasCnt {
+			return fmt.Errorf("%s{%s}: missing _sum or _count", f.Name, key)
+		}
+		if st.inf != st.count {
+			return fmt.Errorf("%s{%s}: +Inf bucket %v != count %v", f.Name, key, st.inf, st.count)
+		}
+	}
+	return nil
+}
+
+// familyNameOf strips the histogram sample suffixes.
+func familyNameOf(sample string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(sample, suf) {
+			return sample[:len(sample)-len(suf)]
+		}
+	}
+	return sample
+}
+
+// parseComment splits "# HELP name rest" / "# TYPE name rest".
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], rest, true
+}
+
+// parseSample parses `name{k="v",...} value`.
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name")
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	if rest == "" {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	if strings.ContainsRune(rest, ' ') {
+		return s, fmt.Errorf("unexpected trailing fields in %q (timestamps unsupported)", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels scans a {k="v",...} block starting at text[0] == '{' and
+// returns the index one past the closing brace.
+func parseLabels(text string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		if i >= len(text) {
+			return 0, nil, fmt.Errorf("unterminated label set")
+		}
+		if text[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.Index(text[i:], "=")
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("label without '='")
+		}
+		name := text[i : i+eq]
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return 0, nil, fmt.Errorf("label %s: unquoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, nil, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := text[i]
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, nil, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %s: bad escape \\%c", name, text[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = val.String()
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseValue accepts the writer's float forms plus the spec's infinities.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}

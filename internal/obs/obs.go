@@ -128,6 +128,26 @@ type Event struct {
 	Profile *LoadProfile
 }
 
+// Sink receives the event stream live, as it is recorded — the feed the
+// metrics registry aggregates continuously (a long-running server cannot
+// wait for a post-run export). Methods are invoked with the recorder's
+// lock held, in recording order; implementations must be fast and must
+// not call back into the Recorder.
+type Sink interface {
+	// OnSpanEnd delivers a closed op/phase span with its final Dur,
+	// Breakdown and Rounds.
+	OnSpanEnd(e Event)
+	// OnRound delivers one complete BSP round event (Profile set when the
+	// round was sampled).
+	OnRound(e Event)
+	// OnCPUPhase delivers one complete host compute phase event.
+	OnCPUPhase(e Event)
+	// OnCounter delivers a registry change: for Add, delta is the
+	// increment and gauge is false; for Set, delta is the stored value and
+	// gauge is true.
+	OnCounter(name string, delta int64, gauge bool)
+}
+
 // spanRef tracks one open span on the recorder stack.
 type spanRef struct {
 	idx        int // index into events
@@ -142,6 +162,8 @@ type spanRef struct {
 type Recorder struct {
 	mu          sync.Mutex
 	sampleEvery int64 // profile every Nth round (0 = never)
+	retain      bool  // keep completed events for post-run export
+	sink        Sink  // live event consumer (nil = none)
 
 	clock  float64   // modeled-time cursor
 	total  Breakdown // running decomposition totals
@@ -152,9 +174,37 @@ type Recorder struct {
 	counters map[string]int64
 }
 
-// New returns an enabled recorder with module-load sampling off.
+// New returns an enabled recorder with module-load sampling off and event
+// retention on (the post-run-export mode every exporter expects).
 func New() *Recorder {
-	return &Recorder{counters: make(map[string]int64)}
+	return &Recorder{retain: true, counters: make(map[string]int64)}
+}
+
+// SetSink attaches (or detaches, with nil) a live event consumer. Set it
+// before recording; the sink then sees every subsequent round, CPU phase,
+// closed span and counter change in order.
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// SetRetainEvents toggles post-run event retention. With retention off the
+// recorder becomes a bounded-memory streaming source for a Sink: round and
+// CPU events are delivered to the sink but never stored, and completed
+// span trees are discarded whenever the span stack empties — a server can
+// record forever without growing. Totals, counters and sampling are
+// unaffected; Events() reports only what is currently open.
+func (r *Recorder) SetRetainEvents(keep bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.retain = keep
+	r.mu.Unlock()
 }
 
 // Enabled reports whether the recorder is collecting. Instrumented code
@@ -246,6 +296,12 @@ func (r *Recorder) end() {
 	ev.Dur = r.clock - ref.startClock
 	ev.Breakdown = r.total.sub(ref.startTotal)
 	ev.Rounds = r.rounds - ref.startRound
+	if r.sink != nil {
+		r.sink.OnSpanEnd(*ev)
+	}
+	if !r.retain && len(r.stack) == 0 {
+		r.events = r.events[:0]
+	}
 }
 
 // attribution returns the enclosing op and innermost phase names; caller
@@ -300,7 +356,12 @@ func (r *Recorder) RecordRound(ri RoundInfo, pimSec, commSec float64, loads func
 		p := NewLoadProfile(cycles, bytes)
 		ev.Profile = &p
 	}
-	r.events = append(r.events, ev)
+	if r.retain {
+		r.events = append(r.events, ev)
+	}
+	if r.sink != nil {
+		r.sink.OnRound(ev)
+	}
 	r.clock += ri.Seconds
 	r.total.PIMSeconds += pimSec
 	r.total.CommSeconds += commSec
@@ -314,7 +375,7 @@ func (r *Recorder) RecordCPUPhase(ci CPUInfo) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	op, phase := r.attribution()
-	r.events = append(r.events, Event{
+	ev := Event{
 		Kind:      KindCPU,
 		Name:      "cpu",
 		Op:        op,
@@ -324,7 +385,13 @@ func (r *Recorder) RecordCPUPhase(ci CPUInfo) {
 		Dur:       ci.Seconds,
 		Breakdown: Breakdown{CPUSeconds: ci.Seconds},
 		CPU:       &ci,
-	})
+	}
+	if r.retain {
+		r.events = append(r.events, ev)
+	}
+	if r.sink != nil {
+		r.sink.OnCPUPhase(ev)
+	}
 	r.clock += ci.Seconds
 	r.total.CPUSeconds += ci.Seconds
 }
@@ -338,6 +405,9 @@ func (r *Recorder) Add(name string, delta int64) {
 	}
 	r.mu.Lock()
 	r.counters[name] += delta
+	if r.sink != nil {
+		r.sink.OnCounter(name, delta, false)
+	}
 	r.mu.Unlock()
 }
 
@@ -348,6 +418,9 @@ func (r *Recorder) Set(name string, v int64) {
 	}
 	r.mu.Lock()
 	r.counters[name] = v
+	if r.sink != nil {
+		r.sink.OnCounter(name, v, true)
+	}
 	r.mu.Unlock()
 }
 

@@ -2,22 +2,37 @@ package obs
 
 import (
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
 	"os"
 )
 
-// ServePprof starts the Go pprof HTTP endpoint on addr (e.g.
-// "localhost:6060") in a background goroutine — the live Go-level
-// complement to the modeled traces, opt-in from every CLI via -pprof.
-// An empty addr is a no-op.
+// StartPprof binds addr (e.g. "localhost:6060", or ":0" for an ephemeral
+// port) and serves the Go pprof HTTP endpoint from a background goroutine,
+// returning the bound address. The live Go-level complement to the modeled
+// traces, opt-in from every CLI via -pprof.
+func StartPprof(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := http.Serve(l, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// ServePprof is the fire-and-forget CLI entry point around StartPprof: an
+// empty addr is a no-op, and a bind failure is reported on stderr rather
+// than returned (profiling must never take the tool down).
 func ServePprof(addr string) {
 	if addr == "" {
 		return
 	}
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
-		}
-	}()
+	if _, err := StartPprof(addr); err != nil {
+		fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+	}
 }

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestStartPprof binds an ephemeral port and fetches the pprof index.
+func TestStartPprof(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty pprof index")
+	}
+}
+
+func TestStartPprofBadAddr(t *testing.T) {
+	if _, err := StartPprof("256.0.0.1:bad"); err == nil {
+		t.Fatal("want error for unbindable address")
+	}
+}
+
+// ServePprof with an empty address must be a silent no-op (the CLI default).
+func TestServePprofEmptyIsNoop(t *testing.T) {
+	ServePprof("")
+}

@@ -118,6 +118,11 @@ type System struct {
 	metrics Metrics
 	trace   tracer
 
+	// Cumulative per-module loads (nil until EnableModuleLoadStats) — the
+	// whole-run Fig. 7 skew picture, served live by the admin endpoints.
+	loadCycles []int64
+	loadBytes  []int64
+
 	// recorder, when non-nil, receives every round and CPU phase (and,
 	// through span annotations made by callers, the op/phase hierarchy).
 	// Set it before issuing rounds; nil costs one pointer test per event.
@@ -193,6 +198,13 @@ func (s *System) Round(active []int, handler func(m *Module)) RoundStats {
 	pimSec := float64(st.MaxCycles) / (s.Machine.PIMHz * s.Machine.PIMIPC)
 
 	s.mu.Lock()
+	if s.loadCycles != nil {
+		for _, id := range active {
+			m := s.modules[id]
+			s.loadCycles[id] += m.cycles
+			s.loadBytes[id] += m.recvBytes + m.sendBytes
+		}
+	}
 	s.metrics.Rounds++
 	s.metrics.BytesToPIM += st.BytesToPIM
 	s.metrics.BytesFromPIM += st.BytesFromPIM
@@ -269,6 +281,29 @@ func (s *System) ResetMetrics() {
 	s.mu.Lock()
 	s.metrics = Metrics{}
 	s.mu.Unlock()
+}
+
+// EnableModuleLoadStats starts accumulating per-module cumulative cycle
+// and byte loads across rounds (off by default: it costs two adds per
+// active module per round). Enable before issuing rounds.
+func (s *System) EnableModuleLoadStats() {
+	s.mu.Lock()
+	if s.loadCycles == nil {
+		s.loadCycles = make([]int64, len(s.modules))
+		s.loadBytes = make([]int64, len(s.modules))
+	}
+	s.mu.Unlock()
+}
+
+// ModuleLoads returns copies of the cumulative per-module cycle and byte
+// loads, indexed by module id (nil, nil when accounting is disabled).
+func (s *System) ModuleLoads() (cycles, bytes []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.loadCycles == nil {
+		return nil, nil
+	}
+	return append([]int64(nil), s.loadCycles...), append([]int64(nil), s.loadBytes...)
 }
 
 // StoredBytesTotal returns the summed local-memory footprint across

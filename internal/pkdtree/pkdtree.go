@@ -305,6 +305,41 @@ func (t *Tree) Height() int {
 	return rec(t.root)
 }
 
+// NodeCount returns the number of internal nodes and leaves.
+func (t *Tree) NodeCount() (internal, leaves int) {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.isLeaf() {
+			leaves++
+			return
+		}
+		internal++
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+	return internal, leaves
+}
+
+// Stats summarizes the tree's structure for the admin server's
+// /snapshot/tree endpoint (the baseline-engine counterpart of
+// core.Tree.Stats).
+type Stats struct {
+	Points        int `json:"points"`
+	Height        int `json:"height"`
+	InternalNodes int `json:"internal_nodes"`
+	Leaves        int `json:"leaves"`
+}
+
+// Stats returns a structural snapshot.
+func (t *Tree) Stats() Stats {
+	internal, leaves := t.NodeCount()
+	return Stats{Points: t.Size(), Height: t.Height(), InternalNodes: internal, Leaves: leaves}
+}
+
 // Points returns all stored points (in tree order).
 func (t *Tree) Points() []geom.Point {
 	out := make([]geom.Point, 0, t.Size())

@@ -288,6 +288,22 @@ func (t *Tree) NodeCount() (internal, leaves int) {
 	return internal, leaves
 }
 
+// Stats summarizes the tree's structure for the admin server's
+// /snapshot/tree endpoint (the baseline-engine counterpart of
+// core.Tree.Stats).
+type Stats struct {
+	Points        int `json:"points"`
+	Height        int `json:"height"`
+	InternalNodes int `json:"internal_nodes"`
+	Leaves        int `json:"leaves"`
+}
+
+// Stats returns a structural snapshot.
+func (t *Tree) Stats() Stats {
+	internal, leaves := t.NodeCount()
+	return Stats{Points: t.Size(), Height: t.Height(), InternalNodes: internal, Leaves: leaves}
+}
+
 // Points returns all points in key order (mainly for tests and examples).
 func (t *Tree) Points() []geom.Point {
 	out := make([]geom.Point, 0, t.Size())

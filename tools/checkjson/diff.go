@@ -1,0 +1,120 @@
+package main
+
+// Perf-regression gate: compare two pimzd-bench -bench-json reports
+// (e.g. BENCH_4.json vs BENCH_5.json) panel by panel. A panel or phase
+// regresses when its new mops_per_sec drops more than the threshold
+// percentage below the old value. New panels/phases pass (no baseline);
+// panels that disappeared are reported as regressions — a missing
+// trajectory entry hides a slowdown just as well as a slow one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pimzdtree/internal/bench"
+)
+
+type regression struct {
+	What    string  // "fig5a" or "fig6/merge"
+	OldMops float64
+	NewMops float64
+	Pct     float64 // signed change, negative = slower
+}
+
+func (r regression) String() string {
+	if r.OldMops > 0 && r.NewMops == 0 {
+		return fmt.Sprintf("%s: missing from new report (was %.3f MOp/s)", r.What, r.OldMops)
+	}
+	return fmt.Sprintf("%s: %.3f -> %.3f MOp/s (%+.1f%%)", r.What, r.OldMops, r.NewMops, r.Pct)
+}
+
+func readPerf(path string) (*bench.PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.PerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Panels) == 0 {
+		return nil, fmt.Errorf("%s: empty panels array", path)
+	}
+	return &r, nil
+}
+
+// pctChange returns the signed percentage change from old to new.
+func pctChange(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// diffReports walks the old report's panels (and their phases), looks each
+// up in the new report, and collects everything slower than thresholdPct.
+// Progress lines for every compared entry go to w.
+func diffReports(w io.Writer, oldR, newR *bench.PerfReport, thresholdPct float64) []regression {
+	newPanels := make(map[string]bench.PanelPerf, len(newR.Panels))
+	for _, p := range newR.Panels {
+		newPanels[p.Experiment] = p
+	}
+	var regs []regression
+	check := func(what string, oldMops, newMops float64, present bool) {
+		switch {
+		case !present:
+			regs = append(regs, regression{What: what, OldMops: oldMops})
+			fmt.Fprintf(w, "  %-24s %10.3f -> %10s MISSING\n", what, oldMops, "-")
+		default:
+			pct := pctChange(oldMops, newMops)
+			mark := ""
+			if pct < -thresholdPct {
+				regs = append(regs, regression{What: what, OldMops: oldMops, NewMops: newMops, Pct: pct})
+				mark = "  REGRESSION"
+			}
+			fmt.Fprintf(w, "  %-24s %10.3f -> %10.3f MOp/s (%+6.1f%%)%s\n", what, oldMops, newMops, pct, mark)
+		}
+	}
+	for _, op := range oldR.Panels {
+		np, ok := newPanels[op.Experiment]
+		check(op.Experiment, op.MOpsPerSec, np.MOpsPerSec, ok)
+		if !ok {
+			continue
+		}
+		newPhases := make(map[string]bench.PhasePerf, len(np.Phases))
+		for _, ph := range np.Phases {
+			newPhases[ph.Name] = ph
+		}
+		for _, ph := range op.Phases {
+			nph, ok := newPhases[ph.Name]
+			check(op.Experiment+"/"+ph.Name, ph.MOpsPerSec, nph.MOpsPerSec, ok)
+		}
+	}
+	return regs
+}
+
+// diffBench is the CLI entry: load both reports, diff, report, and return
+// an error (-> exit 1) when anything regressed past the threshold.
+func diffBench(w io.Writer, oldPath, newPath string, thresholdPct float64) error {
+	oldR, err := readPerf(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := readPerf(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "perf diff %s -> %s (threshold %.0f%%)\n", oldPath, newPath, thresholdPct)
+	regs := diffReports(w, oldR, newR, thresholdPct)
+	if len(regs) > 0 {
+		fmt.Fprintf(w, "%d regression(s):\n", len(regs))
+		for _, r := range regs {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		return fmt.Errorf("%d perf regression(s) beyond %.0f%%", len(regs), thresholdPct)
+	}
+	fmt.Fprintln(w, "no regressions")
+	return nil
+}

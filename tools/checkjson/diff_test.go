@@ -1,0 +1,99 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"pimzdtree/internal/bench"
+)
+
+func report(panels ...bench.PanelPerf) *bench.PerfReport {
+	return &bench.PerfReport{Panels: panels}
+}
+
+func panel(id string, mops float64, phases ...bench.PhasePerf) bench.PanelPerf {
+	return bench.PanelPerf{Experiment: id, MOpsPerSec: mops, Phases: phases}
+}
+
+func TestDiffReportsNoRegression(t *testing.T) {
+	oldR := report(panel("fig5a", 10), panel("fig6", 5,
+		bench.PhasePerf{Name: "merge", MOpsPerSec: 2}))
+	newR := report(panel("fig5a", 9.5), panel("fig6", 5.5,
+		bench.PhasePerf{Name: "merge", MOpsPerSec: 2.1}))
+	if regs := diffReports(io.Discard, oldR, newR, 10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestDiffReportsPanelRegression(t *testing.T) {
+	oldR := report(panel("fig5a", 10))
+	newR := report(panel("fig5a", 8))
+	regs := diffReports(io.Discard, oldR, newR, 10)
+	if len(regs) != 1 || regs[0].What != "fig5a" {
+		t.Fatalf("want one fig5a regression, got %v", regs)
+	}
+	if regs[0].Pct > -19 || regs[0].Pct < -21 {
+		t.Fatalf("want ~-20%%, got %+.1f%%", regs[0].Pct)
+	}
+}
+
+func TestDiffReportsPhaseRegression(t *testing.T) {
+	oldR := report(panel("fig6", 5,
+		bench.PhasePerf{Name: "merge", MOpsPerSec: 2},
+		bench.PhasePerf{Name: "relayout", MOpsPerSec: 3}))
+	newR := report(panel("fig6", 5,
+		bench.PhasePerf{Name: "merge", MOpsPerSec: 0.5},
+		bench.PhasePerf{Name: "relayout", MOpsPerSec: 3}))
+	regs := diffReports(io.Discard, oldR, newR, 10)
+	if len(regs) != 1 || regs[0].What != "fig6/merge" {
+		t.Fatalf("want one fig6/merge regression, got %v", regs)
+	}
+}
+
+func TestDiffReportsMissingPanel(t *testing.T) {
+	oldR := report(panel("fig5a", 10), panel("fig7", 4))
+	newR := report(panel("fig5a", 10))
+	regs := diffReports(io.Discard, oldR, newR, 10)
+	if len(regs) != 1 || regs[0].What != "fig7" {
+		t.Fatalf("want missing-fig7 regression, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Fatalf("want 'missing' in %q", regs[0].String())
+	}
+}
+
+func TestDiffReportsNewPanelPasses(t *testing.T) {
+	oldR := report(panel("fig5a", 10))
+	newR := report(panel("fig5a", 10), panel("fig9", 1))
+	if regs := diffReports(io.Discard, oldR, newR, 10); len(regs) != 0 {
+		t.Fatalf("new panel must not regress: %v", regs)
+	}
+}
+
+func TestDiffArgsTrailingThreshold(t *testing.T) {
+	th := 10.0
+	paths, err := diffArgs([]string{"old.json", "new.json", "-threshold", "50"}, &th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths[0] != "old.json" || paths[1] != "new.json" {
+		t.Fatalf("paths = %v", paths)
+	}
+	if th != 50 {
+		t.Fatalf("threshold = %v, want 50", th)
+	}
+}
+
+func TestDiffArgsErrors(t *testing.T) {
+	th := 10.0
+	if _, err := diffArgs([]string{"only.json"}, &th); err == nil {
+		t.Fatal("want error for one path")
+	}
+	if _, err := diffArgs([]string{"a", "b", "-threshold"}, &th); err == nil {
+		t.Fatal("want error for dangling -threshold")
+	}
+	if _, err := diffArgs([]string{"a", "b", "-threshold", "x"}, &th); err == nil {
+		t.Fatal("want error for non-numeric threshold")
+	}
+}

@@ -1,4 +1,4 @@
-// Command checkjson validates trace exports in CI. Two modes:
+// Command checkjson validates trace exports and gates perf in CI. Modes:
 //
 //	checkjson -chrome file.json   # Chrome trace-event JSON: must parse and
 //	                              # contain a non-empty traceEvents array
@@ -6,6 +6,14 @@
 //	checkjson -bench file.json    # pimzd-bench -bench-json report: must
 //	                              # parse with non-empty panels, each with
 //	                              # an experiment id and positive seconds
+//	checkjson -promtext file.txt  # Prometheus text exposition: must parse
+//	                              # and pass the exposition lint (sorted
+//	                              # families, histogram invariants)
+//	checkjson -diff old.json new.json [-threshold pct]
+//	                              # perf-regression gate between two
+//	                              # -bench-json reports: fail when any
+//	                              # panel's or phase's mops_per_sec drops
+//	                              # more than pct percent (default 10)
 //
 // Exit status 0 on success; 1 with a diagnostic on the first violation.
 package main
@@ -16,13 +24,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+
+	"pimzdtree/internal/metrics"
 )
 
 func main() {
 	var (
-		chrome = flag.String("chrome", "", "validate a Chrome trace-event JSON file")
-		jsonl  = flag.String("jsonl", "", "validate a JSONL file line by line")
-		bench  = flag.String("bench", "", "validate a pimzd-bench -bench-json perf report")
+		chrome    = flag.String("chrome", "", "validate a Chrome trace-event JSON file")
+		jsonl     = flag.String("jsonl", "", "validate a JSONL file line by line")
+		bench     = flag.String("bench", "", "validate a pimzd-bench -bench-json perf report")
+		promtext  = flag.String("promtext", "", "lint a Prometheus text exposition file")
+		diffMode  = flag.Bool("diff", false, "diff two -bench-json reports: checkjson -diff old.json new.json")
+		threshold = flag.Float64("threshold", 10, "with -diff, regression threshold in percent")
 	)
 	flag.Parse()
 	switch {
@@ -38,10 +52,59 @@ func main() {
 		if err := checkBench(*bench); err != nil {
 			fail(*bench, err)
 		}
+	case *promtext != "":
+		if err := checkPromText(*promtext); err != nil {
+			fail(*promtext, err)
+		}
+	case *diffMode:
+		paths, err := diffArgs(flag.Args(), threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkjson: %v\n", err)
+			os.Exit(2)
+		}
+		if err := diffBench(os.Stdout, paths[0], paths[1], *threshold); err != nil {
+			fail(paths[1], err)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl | -bench file.json")
+		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl | -bench file.json | -promtext file.txt | -diff old.json new.json [-threshold pct]")
 		os.Exit(2)
 	}
+}
+
+// diffArgs extracts the two report paths for -diff. The flag package stops
+// parsing at the first positional, so a trailing "-threshold N" after the
+// file names would otherwise be swallowed into the positionals — scan for
+// it by hand.
+func diffArgs(args []string, threshold *float64) ([]string, error) {
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-threshold" || args[i] == "--threshold" {
+			if i+1 >= len(args) {
+				return nil, fmt.Errorf("-threshold needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("-threshold %q: %v", args[i+1], err)
+			}
+			*threshold = v
+			i++
+			continue
+		}
+		paths = append(paths, args[i])
+	}
+	if len(paths) != 2 {
+		return nil, fmt.Errorf("-diff needs exactly two report paths, got %d", len(paths))
+	}
+	return paths, nil
+}
+
+func checkPromText(path string) error {
+	fd, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	return metrics.LintText(fd)
 }
 
 func fail(path string, err error) {
