@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -164,6 +165,13 @@ func main() {
 	uptime := reg.NewGauge(metrics.Opts{Name: "pimzd_uptime_seconds",
 		Help: "Wall-clock seconds since the server started.", Wall: true})
 
+	// engMu serializes workload batches with /snapshot/tree: the stats
+	// walks iterate tree maps/nodes that batch updates mutate, so an
+	// unguarded scrape mid-batch is a fatal concurrent map access.
+	// Stats() returns value snapshots, so JSON marshaling (and the HTTP
+	// write) happens after the lock is released. ModuleLoads needs no
+	// guard — pim.System.ModuleLoads copies under System.mu.
+	var engMu sync.Mutex
 	var ready atomic.Bool
 	var eng engine
 	srv, err := metrics.StartAdmin(*addr, metrics.AdminConfig{
@@ -172,6 +180,8 @@ func main() {
 			if !ready.Load() {
 				return struct{}{}
 			}
+			engMu.Lock()
+			defer engMu.Unlock()
 			return eng.stats()
 		},
 		ModuleLoads: func() (cycles, bytes []int64) {
@@ -234,6 +244,7 @@ func main() {
 		}
 		op := strings.TrimSpace(mix[i%len(mix)])
 		t0 := time.Now()
+		engMu.Lock()
 		switch op {
 		case "search":
 			eng.search(queries())
@@ -258,6 +269,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown op %q in -ops\n", op)
 			os.Exit(2)
 		}
+		engMu.Unlock()
 		wallSeconds.With(op).Observe(time.Since(t0).Seconds())
 		uptime.Set(time.Since(start).Seconds())
 		if *pause > 0 {

@@ -1,7 +1,7 @@
 package metrics
 
 import (
-	"bufio"
+	"bytes"
 	"io"
 	"math"
 	"sort"
@@ -21,6 +21,11 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 // WriteText renders the registry. With modeledOnly, families registered
 // with Wall=true (real-time measurements) are skipped, leaving only the
 // deterministic modeled metrics CI can golden-test.
+//
+// The whole exposition is rendered into memory first and written to w
+// only after every family lock is released: w is typically an HTTP
+// response, and a slow scraper must never block the recorders feeding
+// the registry.
 func (r *Registry) WriteText(w io.Writer, modeledOnly bool) error {
 	if r == nil {
 		return nil
@@ -37,18 +42,19 @@ func (r *Registry) WriteText(w io.Writer, modeledOnly bool) error {
 	}
 	r.mu.Unlock()
 
-	bw := bufio.NewWriter(w)
+	var buf bytes.Buffer
 	for _, f := range fams {
 		if modeledOnly && f.opts.Wall {
 			continue
 		}
-		f.writeText(bw)
+		f.writeText(&buf)
 	}
-	return bw.Flush()
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // writeText renders one family block.
-func (f *family) writeText(w *bufio.Writer) {
+func (f *family) writeText(w *bytes.Buffer) {
 	w.WriteString("# HELP ")
 	w.WriteString(f.opts.Name)
 	w.WriteByte(' ')
@@ -111,7 +117,7 @@ func (f *family) writeText(w *bufio.Writer) {
 
 // writeLabels renders the label set: the family's own dimension (when it
 // has one) plus an optional extra pair (histograms' le).
-func writeLabels(w *bufio.Writer, labelName, labelValue, extraName, extraValue string) {
+func writeLabels(w *bytes.Buffer, labelName, labelValue, extraName, extraValue string) {
 	if labelName == "" && extraName == "" {
 		return
 	}

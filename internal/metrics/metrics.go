@@ -24,6 +24,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 )
@@ -110,6 +111,15 @@ func (r *Registry) register(opts Opts, typ Type, bounds []float64) *family {
 	if f, ok := r.families[opts.Name]; ok {
 		if f.typ != typ {
 			panic(fmt.Sprintf("metrics: %s re-registered as %v (was %v)", opts.Name, typ, f.typ))
+		}
+		// A silent Opts mismatch would be worse than the type one above:
+		// a differing Wall flag leaks wall-clock series into (or drops
+		// modeled series from) the golden-tested modeled-only exposition.
+		if f.opts != opts {
+			panic(fmt.Sprintf("metrics: %s re-registered with different opts (%+v, was %+v)", opts.Name, opts, f.opts))
+		}
+		if !slices.Equal(f.bounds, bounds) {
+			panic(fmt.Sprintf("metrics: %s re-registered with different buckets (%v, was %v)", opts.Name, bounds, f.bounds))
 		}
 		return f
 	}

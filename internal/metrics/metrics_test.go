@@ -52,10 +52,35 @@ func TestCounterAndGauge(t *testing.T) {
 	if got := g.With("a").Value(); got != 7 {
 		t.Fatalf("gauge = %v, want 7", got)
 	}
-	// Re-registering the same family returns the same cells.
-	if reg.NewCounter(Opts{Name: "c"}).Value() != 10 {
+	// Re-registering the same family (identical opts) returns the same cells.
+	if reg.NewCounter(Opts{Name: "c", Help: "h"}).Value() != 10 {
 		t.Fatal("re-registration must share state")
 	}
+}
+
+// Re-registering a name with differing Opts (or bucket layout) must panic,
+// like the existing type-mismatch check: a silently divergent Wall flag
+// would corrupt the modeled-only exposition CI golden-tests.
+func TestRegisterMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	reg := New()
+	reg.NewCounter(Opts{Name: "c", Help: "h"})
+	mustPanic("type", func() { reg.NewGauge(Opts{Name: "c", Help: "h"}) })
+	mustPanic("help", func() { reg.NewCounter(Opts{Name: "c", Help: "other"}) })
+	mustPanic("wall", func() { reg.NewCounter(Opts{Name: "c", Help: "h", Wall: true}) })
+	mustPanic("label", func() { reg.NewCounterVec(Opts{Name: "c", Help: "h", Label: "op"}) })
+	reg.NewHistogram(HistogramOpts{Opts: Opts{Name: "h", Help: "x"}, Buckets: []float64{1, 2}})
+	mustPanic("buckets", func() {
+		reg.NewHistogram(HistogramOpts{Opts: Opts{Name: "h", Help: "x"}, Buckets: []float64{1, 3}})
+	})
 }
 
 // Bucket bounds are exact powers of 4 — exactly representable floats whose
@@ -120,7 +145,7 @@ func TestHistogramObserve(t *testing.T) {
 func TestExpositionRoundTrip(t *testing.T) {
 	reg := New()
 	reg.NewCounterVec(Opts{Name: "a_ops_total", Help: "ops", Label: "op"}).With("search").Add(3)
-	reg.NewCounterVec(Opts{Name: "a_ops_total", Label: "op"}).With("insert").Add(1)
+	reg.NewCounterVec(Opts{Name: "a_ops_total", Help: "ops", Label: "op"}).With("insert").Add(1)
 	reg.NewGauge(Opts{Name: "b_gauge", Help: `back\slash and "quote"`}).Set(-2.5)
 	h := reg.NewHistogramVec(HistogramOpts{Opts: Opts{Name: "c_seconds", Help: "lat", Label: "op"}})
 	h.With("knn").Observe(0.001)
@@ -178,6 +203,22 @@ func TestExpositionRoundTrip(t *testing.T) {
 	}
 	if infVal != 2 || count != 2 {
 		t.Fatalf("+Inf=%v count=%v, want 2/2", infVal, count)
+	}
+}
+
+// Help text with a literal backslash immediately before an 'n' escapes to
+// `\\n`, which must round-trip back to backslash+n — not to a newline, the
+// failure mode of unescaping via sequential ReplaceAll.
+func TestHelpEscapingRoundTrip(t *testing.T) {
+	for _, help := range []string{
+		"backslash-n: \\n literal",
+		"newline:\nnext",
+		"mixed \\\nboth \\n and newline",
+		"trailing backslash \\",
+	} {
+		if got := unescapeHelp(escapeHelp(help)); got != help {
+			t.Errorf("help round-trip: %q -> %q -> %q", help, escapeHelp(help), got)
+		}
 	}
 }
 

@@ -353,7 +353,29 @@ func parseValue(s string) (float64, error) {
 	return strconv.ParseFloat(s, 64)
 }
 
+// unescapeHelp inverts escapeHelp with a single left-to-right scan:
+// sequential ReplaceAll calls mis-handle `\\n` (an escaped backslash
+// followed by a literal n), turning it into a newline in either order.
 func unescapeHelp(s string) string {
-	s = strings.ReplaceAll(s, `\n`, "\n")
-	return strings.ReplaceAll(s, `\\`, `\`)
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
 }
