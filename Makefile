@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-json smoke
+.PHONY: ci build vet test race bench bench-json smoke profile
 
 ci: build vet race smoke
 
@@ -58,7 +58,7 @@ smoke:
 	curl -fsS "http://$$ADDR/snapshot/modules" > /dev/null; \
 	RC=$$?; kill $$SERVE_PID 2> /dev/null; test $$RC -eq 0
 	$(GO) run ./tools/checkjson -promtext .smoke/metrics.txt
-	$(GO) run ./tools/checkjson -diff BENCH_4.json BENCH_5.json -threshold 50
+	$(GO) run ./tools/checkjson -diff BENCH_5.json BENCH_6.json -threshold 50
 	rm -rf .smoke
 
 # Micro-benchmarks of the parallel substrate (sort, semisort, scan).
@@ -74,5 +74,15 @@ bench-json:
 	$(GO) run ./cmd/pimzd-bench \
 		-experiment fig5a,fig5c,fig6,fig7,fig8,fig9,table2,table3,latency \
 		-format csv -warmup 30000 -batch 3000 -p 256 \
-		-bench-json BENCH_5.json > /dev/null
-	$(GO) run ./tools/checkjson -bench BENCH_5.json
+		-bench-json BENCH_6.json > /dev/null
+	$(GO) run ./tools/checkjson -bench BENCH_6.json
+
+# CPU-profile the hot query panels (kNN + box + search) at the standard
+# scaled-down size and print the flat top-15. The profile file is left in
+# .profile/cpu.pprof for interactive `go tool pprof` (see EXPERIMENTS.md).
+profile:
+	mkdir -p .profile
+	$(GO) run ./cmd/pimzd-bench -experiment fig5a,fig6,fig7 -format csv \
+		-warmup 30000 -batch 3000 -p 256 \
+		-cpuprofile .profile/cpu.pprof > /dev/null
+	$(GO) tool pprof -top -nodecount 15 .profile/cpu.pprof

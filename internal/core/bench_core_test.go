@@ -131,6 +131,48 @@ func BenchmarkKNNWaves(b *testing.B) {
 	b.ReportMetric(float64(len(qs)*b.N)/b.Elapsed().Seconds()/1e6, "wallclock-Mq/s")
 }
 
+// BenchmarkBoxFetch measures the steady-state fetch path (fused lane
+// filters plus per-query sinks); the first batch off the clock sizes the
+// wave scratch so allocs/op is the per-batch output cost alone.
+func BenchmarkBoxFetch(b *testing.B) {
+	tr, rng := benchTree(b, SkewResistant, 100_000)
+	boxes := make([]geom.Box, 500)
+	for i := range boxes {
+		lo := geom.P3(rng.Uint32()%(1<<20), rng.Uint32()%(1<<20), rng.Uint32()%(1<<20))
+		boxes[i] = geom.NewBox(lo, geom.P3(lo.Coords[0]+1<<14, lo.Coords[1]+1<<14, lo.Coords[2]+1<<14))
+	}
+	tr.BoxFetch(boxes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.BoxFetch(boxes)
+	}
+	b.ReportMetric(float64(len(boxes)*b.N)/b.Elapsed().Seconds()/1e6, "wallclock-Mq/s")
+}
+
+// BenchmarkKNNSelect isolates the final-filter selection kernel: quickselect
+// of the smallest m under the (Dist, Point) total order plus the small
+// survivor sort, over a fixed candidate arena (the shape derive-sphere and
+// final-filter run per query).
+func BenchmarkKNNSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	base := make([]Neighbor, 4096)
+	for i := range base {
+		base[i] = Neighbor{
+			Point: geom.P3(rng.Uint32()%(1<<20), rng.Uint32()%(1<<20), rng.Uint32()%(1<<20)),
+			Dist:  uint64(rng.Uint32()),
+		}
+	}
+	arena := make([]Neighbor, len(base))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(arena, base)
+		selectSmallest(arena, 16, lessByDistPoint)
+		sortNeighbors(arena[:16], lessByDistPoint)
+	}
+}
+
 func BenchmarkRelayout(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	tr := New(testConfig(SkewResistant), randPoints(rng, 200_000, 3, 1<<20))

@@ -110,11 +110,15 @@ func (t *Tree) expandL0Box(qi int32, n *Node, box geom.Box, fetchMode bool, add 
 			return
 		}
 		if n.IsLeaf() {
-			for _, p := range n.Pts {
-				work += int64(p.Dims)
-				if box.Contains(p) {
-					addPoint(qi, p)
-				}
+			work += int64(len(n.Pts)) * int64(t.cfg.Dims)
+			if fetchMode {
+				forEachLeafBoxHit(n, box, func(i int) {
+					addPoint(qi, n.Pts[i])
+				})
+			} else if cnt := countLeafBox(n, box); cnt > 0 {
+				// Per-point count callbacks fold into one add: the counts
+				// are per-query sums, so aggregation is exact.
+				add(qi, cnt)
 			}
 			return
 		}
@@ -155,14 +159,17 @@ func (t *Tree) boxChunkScan(c *Chunk, e entry, box geom.Box, fetch bool, add fun
 			return
 		}
 		if n.IsLeaf() {
-			for _, p := range n.Pts {
-				work += int64(p.Dims)
-				if box.Contains(p) {
-					addPoint(e.qi, p)
-					if fetch {
-						outBytes += pointBytes
-					}
-				}
+			work += int64(len(n.Pts)) * int64(t.cfg.Dims)
+			if fetch {
+				forEachLeafBoxHit(n, box, func(i int) {
+					addPoint(e.qi, n.Pts[i])
+					outBytes += pointBytes
+				})
+			} else if cnt := countLeafBox(n, box); cnt > 0 {
+				// Leaf hits fold into one per-query add; like the scalar
+				// loop, count-mode leaf points contribute no outBytes (the
+				// per-module aggregation below prices the reply).
+				add(e.qi, cnt)
 			}
 			return
 		}

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pimzdtree/internal/costmodel"
 	"pimzdtree/internal/geom"
@@ -179,6 +180,18 @@ type Node struct {
 	Keys []uint64
 	Pts  []geom.Point
 
+	// lanes caches the leaf coordinates in dim-major SoA order:
+	// lane[d*len(Pts)+i] == Pts[i].Coords[d]. The fused leaf kernels
+	// (kernels.go) stream these contiguous lanes instead of chasing Point
+	// structs. The cache is built lazily on a leaf's first kernel scan
+	// (laneData) so construction and update batches never pay for it, and
+	// dropped on every leaf mutation (newLeaf, refreshLeaf,
+	// deleteFromLeaf). Query waves scan leaves concurrently, hence the
+	// atomic publish: racing builders store equal slices, either wins.
+	// Lanes are host-side acceleration only — modeled storage and traffic
+	// still count the AoS payload (leafBytesOf).
+	lanes atomic.Pointer[[]uint32]
+
 	// dirty marks structural modification since the last relayout, so the
 	// layout pass only charges movement for chunks that actually changed.
 	dirty bool
@@ -260,6 +273,7 @@ type Tree struct {
 	router      waveRouter
 	knnFoundBuf [][]knnFound
 	knnCandBuf  []candState
+	knnArena    []Neighbor // final-filter candidate arena (select.go)
 	activeBuf   []int
 	upStats     updateStats
 	moveBuf     []int64
@@ -435,6 +449,31 @@ func (t *Tree) newLeaf(kps []keyed) *Node {
 	n.Box = morton.PrefixBox(n.Key, uint(n.PrefixLen), t.cfg.Dims)
 	return n
 }
+
+// laneData returns the leaf's dim-major coordinate lanes, building and
+// caching them on first use. Concurrent callers may build redundantly;
+// the slices are equal, so whichever atomic store lands last is as good
+// as the other — no locking, and clean under the race detector.
+func (n *Node) laneData(dims int) []uint32 {
+	if p := n.lanes.Load(); p != nil {
+		return *p
+	}
+	m := len(n.Pts)
+	lane := make([]uint32, m*dims)
+	for d := 0; d < dims; d++ {
+		ld := lane[d*m : (d+1)*m]
+		for i := range ld {
+			ld[i] = n.Pts[i].Coords[d]
+		}
+	}
+	n.lanes.Store(&lane)
+	return lane
+}
+
+// dropLanes invalidates the cached lanes after a leaf payload rewrite.
+// Update batches never run concurrently with query waves, so a plain
+// store is safe.
+func (n *Node) dropLanes() { n.lanes.Store(nil) }
 
 // splitAtBit returns the index of the first element with the given key bit
 // set; the slice must be sorted.

@@ -90,17 +90,25 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 		for j := range c {
 			c[j].Dist = fine.Dist(c[j].Point, queries[i])
 		}
-		sort.Sort(neighborsByDist(c))
 		cpuWork += int64(len(c)) * int64(t.cfg.Dims+4)
 		if len(c) == 0 {
 			rF[i] = 0
 			continue
 		}
+		// Only the k-th smallest distance matters (tie-independent), so an
+		// expected-linear quickselect replaces the old full sort.
 		kth := k
 		if kth > len(c) {
 			kth = len(c)
 		}
-		rF[i] = c[kth-1].Dist
+		selectSmallest(c, kth, lessByDist)
+		var r uint64
+		for _, nb := range c[:kth] {
+			if nb.Dist > r {
+				r = nb.Dist
+			}
+		}
+		rF[i] = r
 	}
 	t.sys.CPUPhase(cpuWork, 0, 0)
 	rec.EndPhase()
@@ -145,51 +153,36 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 	rec.EndPhase()
 
 	// --- Step 5: exact CPU filter ---
+	// Candidates land in a tree-owned flat arena reused across queries;
+	// only the k survivors are copied out. Instead of fully sorting every
+	// sphere, quickselect under the (Dist, Point) total order cuts the
+	// arena to its smallest m = k + |candsA| entries — duplicates can only
+	// pair a stage-A candidate with its sphere copy or repeat a stored
+	// multi-point, so m is grown (rarely) until the prefix holds k distinct
+	// values. The selected prefix is exactly the first m of the full sort,
+	// so the output is identical to the old sort-everything path.
 	rec.BeginPhase("final-filter")
 	cpuWork = 0
+	arena := t.knnArena[:0]
 	for i := range queries {
 		pts := sphere[i]
-		ns := make([]Neighbor, 0, len(pts)+len(cands[i]))
+		arena = arena[:0]
 		for _, p := range pts {
-			ns = append(ns, Neighbor{Point: p, Dist: fine.Dist(p, queries[i])})
+			arena = append(arena, Neighbor{Point: p, Dist: fine.Dist(p, queries[i])})
 		}
 		cpuWork += int64(len(pts)) * int64(t.cfg.Dims+2)
 		// Candidates from stage A are sphere members too; merging them
 		// costs nothing extra and covers the k < |tree| < sphere edge.
-		ns = append(ns, cands[i]...)
-		sort.Sort(neighborsByDistPoint(ns))
-		ns = dedupeNeighbors(ns)
-		if len(ns) > k {
-			ns = ns[:k]
-		}
-		out[i] = ns
+		arena = append(arena, cands[i]...)
+		ns := selectFinalNeighbors(arena, k, k+len(cands[i]))
+		res := make([]Neighbor, len(ns))
+		copy(res, ns)
+		out[i] = res
 	}
+	t.knnArena = arena
 	t.sys.CPUPhase(cpuWork+int64(len(queries))*int64(k)*costmodel.WorkHeapOp, 0, 0)
 	rec.EndPhase()
 	return out
-}
-
-// Typed sort orders: per-query sorts run twice per kNN query, and the
-// reflect-based sort.Slice costs several allocations per call. The
-// derive-sphere sort needs only the k-th distance value, which is
-// tie-order-independent; the final filter's order is total up to exact
-// duplicates, which dedupeNeighbors removes.
-
-type neighborsByDist []Neighbor
-
-func (s neighborsByDist) Len() int           { return len(s) }
-func (s neighborsByDist) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
-func (s neighborsByDist) Less(i, j int) bool { return s[i].Dist < s[j].Dist }
-
-type neighborsByDistPoint []Neighbor
-
-func (s neighborsByDistPoint) Len() int      { return len(s) }
-func (s neighborsByDistPoint) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
-func (s neighborsByDistPoint) Less(i, j int) bool {
-	if s[i].Dist != s[j].Dist {
-		return s[i].Dist < s[j].Dist
-	}
-	return lessPoint(s[i].Point, s[j].Point)
 }
 
 func lessPoint(a, b geom.Point) bool {
@@ -364,10 +357,8 @@ func (t *Tree) expandL0KNN(qi int32, n *Node, q geom.Point, cs *candState, k int
 			return
 		}
 		if n.IsLeaf() {
-			for _, p := range n.Pts {
-				cs.add(p, coarse.Dist(p, q), k)
-				work += int64(q.Dims) + costmodel.WorkHeapOp
-			}
+			scanLeafKNN(n, q, coarse, cs, k)
+			work += int64(len(n.Pts)) * (int64(q.Dims) + costmodel.WorkHeapOp)
 			return
 		}
 		// Nearer child first to tighten the bound early.
@@ -429,11 +420,8 @@ func (t *Tree) knnChunkScan(c *Chunk, e entry, q geom.Point, local *candState, k
 			return
 		}
 		if n.IsLeaf() {
-			for _, p := range n.Pts {
-				d := coarse.Dist(p, q)
-				work += pimDistCost(coarse, q.Dims)
-				local.add(p, d, k)
-			}
+			scanLeafKNN(n, q, coarse, local, k)
+			work += int64(len(n.Pts)) * pimDistCost(coarse, q.Dims)
 			return
 		}
 		a, b := n.Left, n.Right
@@ -497,12 +485,10 @@ func (t *Tree) expandL0Sphere(qi int32, n *Node, q geom.Point, bound uint64, coa
 			return
 		}
 		if n.IsLeaf() {
-			for _, p := range n.Pts {
-				work += int64(q.Dims)
-				if coarse.Dist(p, q) <= bound {
-					*out = append(*out, p)
-				}
-			}
+			work += int64(len(n.Pts)) * int64(q.Dims)
+			scanLeafSphere(n, q, coarse, bound, func(p geom.Point) {
+				*out = append(*out, p)
+			})
 			return
 		}
 		rec(n.Left)
@@ -527,13 +513,8 @@ func (t *Tree) sphereChunkScan(c *Chunk, e entry, q geom.Point, bound uint64, co
 			return
 		}
 		if n.IsLeaf() {
-			for _, p := range n.Pts {
-				work += distCost
-				if coarse.Dist(p, q) <= bound {
-					addPoint(p)
-					outBytes += pointBytes
-				}
-			}
+			work += int64(len(n.Pts)) * distCost
+			outBytes += scanLeafSphere(n, q, coarse, bound, addPoint) * pointBytes
 			return
 		}
 		rec(n.Left)

@@ -1,0 +1,135 @@
+package core
+
+// In-place neighbor selection (ISSUE 6): the kNN host phases used to run
+// two full sort.Sort calls per query over every collected candidate —
+// O(c log c) with an interface-dispatched comparator — when derive-sphere
+// needs only the k-th smallest distance and the final filter only the
+// first k entries of the total order. Quickselect narrows each to an
+// expected-O(c) partition plus an O(m log m) sort of the small survivor
+// prefix, allocation-free over the tree-owned candidate arena.
+
+// lessByDist orders neighbors by distance alone. Selection under it picks
+// a tie-arbitrary subset, but the k-th smallest distance *value* — all
+// derive-sphere consumes — is independent of how ties are broken.
+func lessByDist(a, b Neighbor) bool { return a.Dist < b.Dist }
+
+// lessByDistPoint is the total order (distance, then coordinates) the
+// final filter sorts under; under a total order selectSmallest yields
+// exactly the first-m set of the full sort.
+func lessByDistPoint(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return lessPoint(a.Point, b.Point)
+}
+
+// insertionSortNeighbors sorts small slices in place.
+func insertionSortNeighbors(ns []Neighbor, less func(a, b Neighbor) bool) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && less(ns[j], ns[j-1]); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+// partitionNeighbors partitions ns[lo:hi] around a median-of-three pivot,
+// returning the pivot's final index: everything left of it is less,
+// everything right of it is not.
+func partitionNeighbors(ns []Neighbor, lo, hi int, less func(a, b Neighbor) bool) int {
+	mid := int(uint(lo+hi) >> 1)
+	if less(ns[mid], ns[lo]) {
+		ns[mid], ns[lo] = ns[lo], ns[mid]
+	}
+	if less(ns[hi-1], ns[lo]) {
+		ns[hi-1], ns[lo] = ns[lo], ns[hi-1]
+	}
+	if less(ns[hi-1], ns[mid]) {
+		ns[hi-1], ns[mid] = ns[mid], ns[hi-1]
+	}
+	ns[mid], ns[hi-1] = ns[hi-1], ns[mid]
+	pivot := ns[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if less(ns[j], pivot) {
+			ns[i], ns[j] = ns[j], ns[i]
+			i++
+		}
+	}
+	ns[i], ns[hi-1] = ns[hi-1], ns[i]
+	return i
+}
+
+// selectSmallest rearranges ns in place so that ns[:m] holds the m
+// smallest elements under less. With a total order the resulting set is
+// exactly the first m elements of a full sort (internal order arbitrary).
+func selectSmallest(ns []Neighbor, m int, less func(a, b Neighbor) bool) {
+	if m <= 0 || m >= len(ns) {
+		return
+	}
+	lo, hi := 0, len(ns)
+	for hi-lo > 12 {
+		p := partitionNeighbors(ns, lo, hi, less)
+		if p >= m {
+			hi = p
+		} else {
+			lo = p + 1
+		}
+	}
+	insertionSortNeighbors(ns[lo:hi], less)
+}
+
+// sortNeighbors sorts ns in place under less: quicksort recursing into
+// the smaller half, insertion sort below the cutoff.
+func sortNeighbors(ns []Neighbor, less func(a, b Neighbor) bool) {
+	for len(ns) > 12 {
+		p := partitionNeighbors(ns, 0, len(ns), less)
+		if p < len(ns)-p {
+			sortNeighbors(ns[:p], less)
+			ns = ns[p+1:]
+		} else {
+			sortNeighbors(ns[p+1:], less)
+			ns = ns[:p]
+		}
+	}
+	insertionSortNeighbors(ns, less)
+}
+
+// selectFinalNeighbors cuts arena to its first k distinct (Dist, Point)
+// values — exactly what sorting the whole arena, deduping, and truncating
+// to k would return — via quickselect over a window that starts at mInit
+// (the final filter passes k + |stage-A candidates|, covering every
+// candidate/sphere duplicate pair) and doubles while it holds fewer than
+// k distinct values (only stored multi-points trigger a widening). The
+// returned slice aliases arena. mInit must be >= 1.
+func selectFinalNeighbors(arena []Neighbor, k, mInit int) []Neighbor {
+	m := mInit
+	for {
+		if m > len(arena) {
+			m = len(arena)
+		}
+		selectSmallest(arena, m, lessByDistPoint)
+		sortNeighbors(arena[:m], lessByDistPoint)
+		if m == len(arena) || countDistinctSorted(arena[:m]) >= k {
+			break
+		}
+		m *= 2
+	}
+	ns := dedupeNeighbors(arena[:m])
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}
+
+// countDistinctSorted returns the number of distinct (Dist, Point) values
+// in a slice sorted under lessByDistPoint, without mutating it.
+func countDistinctSorted(ns []Neighbor) int {
+	cnt := 0
+	for i, n := range ns {
+		if i > 0 && n.Dist == ns[i-1].Dist && n.Point.Equal(ns[i-1].Point) {
+			continue
+		}
+		cnt++
+	}
+	return cnt
+}

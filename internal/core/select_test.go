@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pimzdtree/internal/geom"
+)
+
+// Unit tests for the in-place selection kernel against a sort.Sort oracle,
+// with heavy distance duplication so the tie-handling contracts are
+// exercised: selection by Dist alone must preserve the k-th distance
+// value; selection under the total order must yield exactly the sorted
+// prefix set.
+
+func randNeighbors(rng *rand.Rand, n int, distRange uint64) []Neighbor {
+	ns := make([]Neighbor, n)
+	for i := range ns {
+		ns[i] = Neighbor{
+			Point: geom.P3(rng.Uint32()%64, rng.Uint32()%64, rng.Uint32()%64),
+			Dist:  rng.Uint64() % distRange,
+		}
+	}
+	return ns
+}
+
+type oracleOrder struct {
+	ns   []Neighbor
+	less func(a, b Neighbor) bool
+}
+
+func (o oracleOrder) Len() int           { return len(o.ns) }
+func (o oracleOrder) Swap(i, j int)      { o.ns[i], o.ns[j] = o.ns[j], o.ns[i] }
+func (o oracleOrder) Less(i, j int) bool { return o.less(o.ns[i], o.ns[j]) }
+
+func TestSelectSmallestByDistKth(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		ns := randNeighbors(rng, n, 1+uint64(rng.Intn(2))*30) // many exact ties
+		want := append([]Neighbor(nil), ns...)
+		sort.Stable(oracleOrder{want, lessByDist})
+		k := 1 + rng.Intn(n)
+		selectSmallest(ns, k, lessByDist)
+		var kth uint64
+		for _, nb := range ns[:k] {
+			if nb.Dist > kth {
+				kth = nb.Dist
+			}
+		}
+		if kth != want[k-1].Dist {
+			t.Fatalf("trial %d: k-th dist %d, oracle %d (n=%d k=%d)", trial, kth, want[k-1].Dist, n, k)
+		}
+	}
+}
+
+func TestSelectSmallestTotalOrderPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		ns := randNeighbors(rng, n, 16) // force ties at every boundary
+		want := append([]Neighbor(nil), ns...)
+		sort.Sort(oracleOrder{want, lessByDistPoint})
+		m := 1 + rng.Intn(n)
+		selectSmallest(ns, m, lessByDistPoint)
+		sortNeighbors(ns[:m], lessByDistPoint)
+		for i := 0; i < m; i++ {
+			if ns[i] != want[i] {
+				t.Fatalf("trial %d: prefix[%d] = %+v, oracle %+v (n=%d m=%d)", trial, i, ns[i], want[i], n, m)
+			}
+		}
+	}
+}
+
+func TestSortNeighborsMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		ns := randNeighbors(rng, n, 8)
+		want := append([]Neighbor(nil), ns...)
+		sort.Sort(oracleOrder{want, lessByDistPoint})
+		sortNeighbors(ns, lessByDistPoint)
+		for i := range ns {
+			if ns[i] != want[i] {
+				t.Fatalf("trial %d: [%d] = %+v, oracle %+v", trial, i, ns[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSelectFinalNeighbors pins the final-filter contract against the old
+// sort-everything path: sort the whole arena under the total order, dedupe
+// exact duplicates, truncate to k. Arenas are built with many copies of a
+// few points so the initial window regularly holds fewer than k distinct
+// values and the widening loop must fire.
+func TestSelectFinalNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(150)
+		distinct := 1 + rng.Intn(6) // heavy duplication
+		pool := randNeighbors(rng, distinct, 5)
+		arena := make([]Neighbor, n)
+		for i := range arena {
+			arena[i] = pool[rng.Intn(distinct)]
+		}
+		want := append([]Neighbor(nil), arena...)
+		sort.Sort(oracleOrder{want, lessByDistPoint})
+		want = dedupeNeighbors(want)
+		k := 1 + rng.Intn(8)
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := selectFinalNeighbors(arena, k, 1+rng.Intn(2*k))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d neighbors, want %d (n=%d k=%d)", trial, len(got), len(want), n, k)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: [%d] = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestKNNWithDuplicatePoints pins kNN behavior on multi-point data (leaves
+// holding hundreds of copies of one point, exceeding LeafCap). A query at
+// the duplicated point derives a radius-0 candidate sphere, so exactly one
+// distinct neighbor comes back for every k — the algorithm's behavior
+// since the seed. A query near the cluster must still return k distinct
+// neighbors in sorted order, led by the cluster point, which exercises the
+// final filter's widening past a window full of duplicates.
+func TestKNNWithDuplicatePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts := make([]geom.Point, 0, 600)
+	dup := geom.P3(1<<19, 1<<19, 1<<19)
+	for i := 0; i < 300; i++ {
+		pts = append(pts, dup)
+	}
+	for i := 0; i < 300; i++ {
+		pts = append(pts, geom.P3(rng.Uint32()%(1<<20), rng.Uint32()%(1<<20), rng.Uint32()%(1<<20)))
+	}
+	tr := New(testConfig(ThroughputOptimized), pts)
+	near := geom.P3(1<<19+3, 1<<19-2, 1<<19+1)
+	for k := 1; k <= 8; k++ {
+		got := tr.KNN([]geom.Point{dup, near}, k)
+		if len(got[0]) != 1 || got[0][0] != (Neighbor{Point: dup, Dist: 0}) {
+			t.Fatalf("k=%d at-dup: %+v, want exactly the cluster point", k, got[0])
+		}
+		ns := got[1]
+		if len(ns) != k {
+			t.Fatalf("k=%d near-dup: %d neighbors, want %d", k, len(ns), k)
+		}
+		if ns[0].Point != dup || ns[0].Dist != geom.DistL2Sq(dup, near) {
+			t.Fatalf("k=%d near-dup: first neighbor %+v, want cluster point", k, ns[0])
+		}
+		for i := 1; i < len(ns); i++ {
+			if !lessByDistPoint(ns[i-1], ns[i]) {
+				t.Fatalf("k=%d near-dup: results not strictly increasing at %d: %+v", k, i, ns)
+			}
+			if ns[i].Dist != geom.DistL2Sq(ns[i].Point, near) {
+				t.Fatalf("k=%d near-dup: wrong distance at %d: %+v", k, i, ns[i])
+			}
+		}
+	}
+}

@@ -379,6 +379,7 @@ func (t *Tree) refreshLeaf(n *Node, kps []keyed) {
 		n.Keys = append(n.Keys, kp.key)
 		n.Pts = append(n.Pts, kp.pt)
 	}
+	n.dropLanes()
 	n.Key = kps[0].key
 	n.Size = int64(len(kps))
 	n.SC = n.Size
@@ -643,6 +644,7 @@ func (t *Tree) deleteFromLeaf(n *Node, kps []keyed, st *updateStats) (*Node, int
 	}
 	n.Keys = keepKeys
 	n.Pts = keepPts
+	n.dropLanes()
 	n.Size = int64(len(keepKeys))
 	n.SC = n.Size
 	n.Delta = 0
@@ -683,9 +685,21 @@ func (t *Tree) CheckInvariants() error {
 			if int64(len(n.Keys)) != n.Size {
 				return 0, errf("leaf size %d != %d", n.Size, len(n.Keys))
 			}
+			var lane []uint32 // lazily built: nil until the first kernel scan
+			if p := n.lanes.Load(); p != nil {
+				lane = *p
+				if len(lane) != len(n.Pts)*int(t.cfg.Dims) {
+					return 0, errf("leaf lane length %d != %d points x %d dims", len(lane), len(n.Pts), t.cfg.Dims)
+				}
+			}
 			for i, k := range n.Keys {
 				if morton.EncodePoint(n.Pts[i]) != k {
 					return 0, errf("leaf key/point mismatch")
+				}
+				for d := 0; lane != nil && d < int(t.cfg.Dims); d++ {
+					if lane[d*len(n.Pts)+i] != n.Pts[i].Coords[d] {
+						return 0, errf("leaf lane desync at point %d dim %d", i, d)
+					}
 				}
 				if i > 0 && k < n.Keys[i-1] {
 					return 0, errf("leaf keys unsorted")

@@ -66,6 +66,44 @@ func TestKNNSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+func TestBoxFetchSteadyStateAllocs(t *testing.T) {
+	if runtime.GOMAXPROCS(0) != 1 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
+	tr, _, boxes := allocTree(t, SkewResistant)
+	tr.BoxFetch(boxes)
+	allocs := testing.AllocsPerRun(5, func() { tr.BoxFetch(boxes) })
+	// Fetch mode must allocate only its user-visible output: the result
+	// and sink arrays plus each query's grown points slice (a handful of
+	// growth steps per query). Anything scaling with waves or leaf visits
+	// (e.g. a per-leaf closure or kernel buffer escaping) trips this.
+	budget := 12*float64(len(boxes)) + 64
+	if allocs > budget {
+		t.Errorf("steady-state BoxFetch allocated %.0f times per batch, want <= %.0f", allocs, budget)
+	}
+}
+
+func TestKNNSelectAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := make([]Neighbor, 2048)
+	for i := range base {
+		base[i] = Neighbor{
+			Point: geom.P3(rng.Uint32()%(1<<20), rng.Uint32()%(1<<20), rng.Uint32()%(1<<20)),
+			Dist:  uint64(rng.Uint32() % 4096), // force duplicate distances
+		}
+	}
+	arena := make([]Neighbor, len(base))
+	allocs := testing.AllocsPerRun(10, func() {
+		copy(arena, base)
+		selectSmallest(arena, 24, lessByDistPoint)
+		sortNeighbors(arena[:24], lessByDistPoint)
+	})
+	// The selection kernel works fully in place over the arena.
+	if allocs > 0 {
+		t.Errorf("kNN selection allocated %.0f times, want 0", allocs)
+	}
+}
+
 func TestBoxCountSteadyStateAllocs(t *testing.T) {
 	if runtime.GOMAXPROCS(0) != 1 {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))

@@ -1,0 +1,73 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the hot helpers the core leaf scans lean on. The
+// loops feed a sink so the calls are not dead-code-eliminated; the inputs
+// are pre-generated so ns/op is the helper alone. Before/after numbers for
+// the bounds-check-hoisting audit live in EXPERIMENTS.md ("Flattened hot
+// kernels").
+
+var sinkU64 uint64
+var sinkBool bool
+
+func benchPoints(n int, dims uint8) []Point {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, n)
+	for i := range pts {
+		p := Point{Dims: dims}
+		for d := uint8(0); d < dims; d++ {
+			p.Coords[d] = rng.Uint32() % (1 << 20)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func BenchmarkDistLInf(b *testing.B) {
+	pts := benchPoints(1024, 3)
+	q := pts[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkU64 += DistLInf(pts[i&1023], q)
+	}
+}
+
+func BenchmarkDistL1(b *testing.B) {
+	pts := benchPoints(1024, 3)
+	q := pts[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkU64 += DistL1(pts[i&1023], q)
+	}
+}
+
+func BenchmarkDistL2Sq(b *testing.B) {
+	pts := benchPoints(1024, 3)
+	q := pts[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkU64 += DistL2Sq(pts[i&1023], q)
+	}
+}
+
+func BenchmarkBoxContains(b *testing.B) {
+	pts := benchPoints(1024, 3)
+	box := NewBox(P3(1<<18, 1<<18, 1<<18), P3(3<<18, 3<<18, 3<<18))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkBool = box.Contains(pts[i&1023]) || sinkBool
+	}
+}
+
+func BenchmarkBoxDistL1To(b *testing.B) {
+	pts := benchPoints(1024, 3)
+	box := NewBox(P3(1<<18, 1<<18, 1<<18), P3(3<<18, 3<<18, 3<<18))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkU64 += box.DistL1To(pts[i&1023])
+	}
+}

@@ -41,8 +41,11 @@ func (b Box) Dims() uint8 { return b.Lo.Dims }
 // Contains reports whether p lies inside b (inclusive).
 func (b Box) Contains(p Point) bool {
 	checkDims(b.Lo, p)
-	for d := uint8(0); d < p.Dims; d++ {
-		if p.Coords[d] < b.Lo.Coords[d] || p.Coords[d] > b.Hi.Coords[d] {
+	ps := p.Coords[:p.Dims]
+	los := b.Lo.Coords[:len(ps)]
+	his := b.Hi.Coords[:len(ps)]
+	for d, pv := range ps {
+		if pv < los[d] || pv > his[d] {
 			return false
 		}
 	}
@@ -57,8 +60,12 @@ func (b Box) ContainsBox(o Box) bool {
 // Intersects reports whether b and o share at least one point.
 func (b Box) Intersects(o Box) bool {
 	checkDims(b.Lo, o.Lo)
-	for d := uint8(0); d < b.Lo.Dims; d++ {
-		if b.Hi.Coords[d] < o.Lo.Coords[d] || o.Hi.Coords[d] < b.Lo.Coords[d] {
+	blos := b.Lo.Coords[:b.Lo.Dims]
+	bhis := b.Hi.Coords[:len(blos)]
+	olos := o.Lo.Coords[:len(blos)]
+	ohis := o.Hi.Coords[:len(blos)]
+	for d := range blos {
+		if bhis[d] < olos[d] || ohis[d] < blos[d] {
 			return false
 		}
 	}
@@ -97,12 +104,17 @@ func (b Box) Center() Point {
 // clampedDelta returns the per-dimension distance from p to the box
 // (0 when p's coordinate lies within the box's extent on that dimension).
 func (b Box) clampedDelta(p Point, d uint8) uint64 {
-	v := p.Coords[d]
+	return clampedDeltaVal(p.Coords[d], b.Lo.Coords[d], b.Hi.Coords[d])
+}
+
+// clampedDeltaVal is the scalar core of clampedDelta: the distance from v
+// to the interval [lo, hi].
+func clampedDeltaVal(v, lo, hi uint32) uint64 {
 	switch {
-	case v < b.Lo.Coords[d]:
-		return uint64(b.Lo.Coords[d] - v)
-	case v > b.Hi.Coords[d]:
-		return uint64(v - b.Hi.Coords[d])
+	case v < lo:
+		return uint64(lo - v)
+	case v > hi:
+		return uint64(v - hi)
 	default:
 		return 0
 	}
@@ -112,9 +124,12 @@ func (b Box) clampedDelta(p Point, d uint8) uint64 {
 // (0 if p is inside b). Used for pruning kNN traversals.
 func (b Box) DistL1To(p Point) uint64 {
 	checkDims(b.Lo, p)
+	ps := p.Coords[:p.Dims]
+	los := b.Lo.Coords[:len(ps)]
+	his := b.Hi.Coords[:len(ps)]
 	var sum uint64
-	for d := uint8(0); d < p.Dims; d++ {
-		sum += b.clampedDelta(p, d)
+	for d, pv := range ps {
+		sum += clampedDeltaVal(pv, los[d], his[d])
 	}
 	return sum
 }
@@ -123,9 +138,12 @@ func (b Box) DistL1To(p Point) uint64 {
 // of b (0 if p is inside b).
 func (b Box) DistL2SqTo(p Point) uint64 {
 	checkDims(b.Lo, p)
+	ps := p.Coords[:p.Dims]
+	los := b.Lo.Coords[:len(ps)]
+	his := b.Hi.Coords[:len(ps)]
 	var sum uint64
-	for d := uint8(0); d < p.Dims; d++ {
-		delta := b.clampedDelta(p, d)
+	for d, pv := range ps {
+		delta := clampedDeltaVal(pv, los[d], his[d])
 		sum += delta * delta
 	}
 	return sum
@@ -135,9 +153,12 @@ func (b Box) DistL2SqTo(p Point) uint64 {
 // of b.
 func (b Box) DistLInfTo(p Point) uint64 {
 	checkDims(b.Lo, p)
+	ps := p.Coords[:p.Dims]
+	los := b.Lo.Coords[:len(ps)]
+	his := b.Hi.Coords[:len(ps)]
 	var m uint64
-	for d := uint8(0); d < p.Dims; d++ {
-		if delta := b.clampedDelta(p, d); delta > m {
+	for d, pv := range ps {
+		if delta := clampedDeltaVal(pv, los[d], his[d]); delta > m {
 			m = delta
 		}
 	}

@@ -91,9 +91,11 @@ func absDiff(a, b uint32) uint64 {
 // It panics if the dimensionalities differ.
 func DistL1(p, q Point) uint64 {
 	checkDims(p, q)
+	ps := p.Coords[:p.Dims]
+	qs := q.Coords[:len(ps)]
 	var sum uint64
-	for d := uint8(0); d < p.Dims; d++ {
-		sum += absDiff(p.Coords[d], q.Coords[d])
+	for d, pv := range ps {
+		sum += absDiff(pv, qs[d])
 	}
 	return sum
 }
@@ -105,9 +107,11 @@ func DistL1(p, q Point) uint64 {
 // 31 bits per dimension, which the morton encodings guarantee).
 func DistL2Sq(p, q Point) uint64 {
 	checkDims(p, q)
+	ps := p.Coords[:p.Dims]
+	qs := q.Coords[:len(ps)]
 	var sum uint64
-	for d := uint8(0); d < p.Dims; d++ {
-		diff := absDiff(p.Coords[d], q.Coords[d])
+	for d, pv := range ps {
+		diff := absDiff(pv, qs[d])
 		sum += diff * diff
 	}
 	return sum
@@ -116,9 +120,11 @@ func DistL2Sq(p, q Point) uint64 {
 // DistLInf returns the l-infinity (Chebyshev) distance between p and q.
 func DistLInf(p, q Point) uint64 {
 	checkDims(p, q)
+	ps := p.Coords[:p.Dims]
+	qs := q.Coords[:len(ps)]
 	var m uint64
-	for d := uint8(0); d < p.Dims; d++ {
-		if diff := absDiff(p.Coords[d], q.Coords[d]); diff > m {
+	for d, pv := range ps {
+		if diff := absDiff(pv, qs[d]); diff > m {
 			m = diff
 		}
 	}

@@ -1,0 +1,168 @@
+package morton
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// Correctness hardening for the branch-free generic split/compact chains
+// (ISSUE 6 satellite): exhaustive per-coordinate verification, max-coordinate
+// edge cases for every supported dimensionality, and a fuzz target pitting
+// EncodeSlice/DecodeSlice against the bit-at-a-time oracle.
+
+// naiveSplit places bit i of x at position i*d — the defining property of
+// the split chains, computed the slow obvious way.
+func naiveSplit(x uint64, d, bits int) uint64 {
+	var out uint64
+	for i := 0; i < bits; i++ {
+		out |= (x >> uint(i) & 1) << uint(i*d)
+	}
+	return out
+}
+
+// TestSplitGenericExhaustive proves the derived schedules correct: for every
+// d in 5..8 it checks every possible coordinate value (2^BitsPerDim(d) of
+// them, at most 4096) against the naive spread, and that compact inverts
+// split. Since EncodeSlice ORs per-coordinate spreads into disjoint bit
+// strides, per-coordinate exhaustiveness covers all multi-coordinate keys.
+func TestSplitGenericExhaustive(t *testing.T) {
+	for d := 5; d <= 8; d++ {
+		bits := int(BitsPerDim(d))
+		s := schedules[d]
+		for v := uint64(0); v < uint64(1)<<uint(bits); v++ {
+			want := naiveSplit(v, d, bits)
+			if got := splitGeneric(v, s); got != want {
+				t.Fatalf("d=%d splitGeneric(%#x) = %#x, want %#x", d, v, got, want)
+			}
+			if got := compactGeneric(naiveSplit(v, d, bits), s); got != v {
+				t.Fatalf("d=%d compactGeneric(split(%#x)) = %#x", d, v, got)
+			}
+		}
+	}
+}
+
+// edgeCoords returns the boundary coordinate values for dimensionality d:
+// zero, one, the max encodable coordinate and its neighbours, the half-range
+// point, and alternating bit patterns.
+func edgeCoords(d int) []uint32 {
+	max := MaxCoord(d)
+	return []uint32{0, 1, 2, max, max - 1, max >> 1, (max >> 1) + 1,
+		0xAAAAAAAA & max, 0x55555555 & max}
+}
+
+// TestEncodeSliceEdgesAllDims round-trips every combination of edge
+// coordinates for dims 1..8 (9^d combos is too many above 4D, so higher
+// dims place each edge value in each position against a fixed background).
+func TestEncodeSliceEdgesAllDims(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		edges := edgeCoords(d)
+		var combos [][]uint32
+		if d <= 3 {
+			// Exhaustive cartesian product of edge values.
+			idx := make([]int, d)
+			for {
+				c := make([]uint32, d)
+				for i, j := range idx {
+					c[i] = edges[j]
+				}
+				combos = append(combos, c)
+				i := 0
+				for ; i < d; i++ {
+					idx[i]++
+					if idx[i] < len(edges) {
+						break
+					}
+					idx[i] = 0
+				}
+				if i == d {
+					break
+				}
+			}
+		} else {
+			for pos := 0; pos < d; pos++ {
+				for _, e := range edges {
+					for _, bg := range []uint32{0, MaxCoord(d), MaxCoord(d) >> 1} {
+						c := make([]uint32, d)
+						for i := range c {
+							c[i] = bg
+						}
+						c[pos] = e
+						combos = append(combos, c)
+					}
+				}
+			}
+		}
+		out := make([]uint32, d)
+		for _, c := range combos {
+			key := EncodeSlice(c)
+			if d > 1 {
+				if oracle := encodeGeneric(c); key != oracle {
+					t.Fatalf("d=%d EncodeSlice(%v) = %#x, oracle %#x", d, c, key, oracle)
+				}
+			}
+			DecodeSlice(key, out)
+			for i := range c {
+				if out[i] != c[i] {
+					t.Fatalf("d=%d round trip %v -> %#x -> %v", d, c, key, out)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeSliceMatchesOracle cross-checks DecodeSlice against the
+// bit-at-a-time decoder on random keys for every dimensionality.
+func TestDecodeSliceMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for d := 2; d <= 8; d++ {
+		got := make([]uint32, d)
+		want := make([]uint32, d)
+		for trial := 0; trial < 2000; trial++ {
+			key := rng.Uint64() & (uint64(1)<<KeyBits(d) - 1)
+			DecodeSlice(key, got)
+			decodeGeneric(key, want)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("d=%d key %#x: DecodeSlice %v, oracle %v", d, key, got, want)
+				}
+			}
+		}
+	}
+}
+
+// FuzzEncodeSliceVsOracle feeds arbitrary byte strings interpreted as a
+// dimensionality plus coordinates, and requires the branch-free encoder to
+// agree with the bit-at-a-time oracle and to round-trip through DecodeSlice.
+func FuzzEncodeSliceVsOracle(f *testing.F) {
+	f.Add([]byte{3, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0})
+	f.Add([]byte{5, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0})
+	f.Add([]byte{8, 0xaa, 0xaa, 0, 0, 0x55, 0x55, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		d := int(data[0])%8 + 1
+		coords := make([]uint32, d)
+		for i := range coords {
+			var v uint32
+			if off := 1 + i*4; off+4 <= len(data) {
+				v = binary.LittleEndian.Uint32(data[off : off+4])
+			}
+			coords[i] = v & MaxCoord(d)
+		}
+		key := EncodeSlice(coords)
+		if d > 1 {
+			if oracle := encodeGeneric(coords); key != oracle {
+				t.Fatalf("d=%d EncodeSlice(%v) = %#x, oracle %#x", d, coords, key, oracle)
+			}
+		}
+		out := make([]uint32, d)
+		DecodeSlice(key, out)
+		for i := range coords {
+			if out[i] != coords[i] {
+				t.Fatalf("d=%d round trip %v -> %#x -> %v", d, coords, key, out)
+			}
+		}
+	})
+}

@@ -167,12 +167,16 @@ func TestEncodeSliceFastDims(t *testing.T) {
 }
 
 func TestEncodeSlicePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	EncodeSlice([]uint32{1})
+	for _, n := range []int{0, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("EncodeSlice with %d coords should panic", n)
+				}
+			}()
+			EncodeSlice(make([]uint32, n))
+		}()
+	}
 }
 
 // Z-order monotonicity: if p dominates q coordinate-wise, key(p) >= key(q).
