@@ -29,9 +29,11 @@ race:
 
 # CLI smoke tests: the trace exporters must emit parseable output
 # (Chrome trace-event JSON with events, and valid JSONL); the admin server
-# must come up, pass its health probe, and serve a lint-clean Prometheus
-# exposition; and the perf trajectory must not regress past 50% between the
-# last two recorded BENCH_*.json reports.
+# must come up with the flight recorder armed, pass its health probe, serve
+# a lint-clean Prometheus exposition plus both flight snapshots, and — on
+# SIGTERM — drain gracefully and flush a valid flight dump whose analyze
+# report is byte-identical across GOMAXPROCS; and the perf trajectory must
+# not regress past 50% between the last two recorded BENCH_*.json reports.
 smoke:
 	mkdir -p .smoke
 	$(GO) run ./cmd/pimzd-trace -op search -n 20000 -batch 500 -p 256 \
@@ -45,8 +47,10 @@ smoke:
 		> /dev/null
 	$(GO) run ./tools/checkjson -bench .smoke/bench.json
 	$(GO) build -o .smoke/pimzd-serve ./cmd/pimzd-serve
+	$(GO) build -o .smoke/pimzd-trace ./cmd/pimzd-trace
 	./.smoke/pimzd-serve -addr 127.0.0.1:0 -port-file .smoke/port \
-		-n 20000 -batch 1000 -p 128 -iters 10 -duration 60s & \
+		-n 20000 -batch 1000 -p 128 -iters 10 -duration 60s \
+		-flight 128 -slow-k 8 -flight-out .smoke/flight.json & \
 	SERVE_PID=$$!; \
 	for i in $$(seq 1 100); do test -s .smoke/port && break; sleep 0.1; done; \
 	test -s .smoke/port || { kill $$SERVE_PID; echo "serve: no port file"; exit 1; }; \
@@ -55,10 +59,18 @@ smoke:
 		curl -fsS "http://$$ADDR/healthz" > /dev/null 2>&1 && break; sleep 0.2; done; \
 	curl -fsS "http://$$ADDR/healthz" > /dev/null && \
 	curl -fsS "http://$$ADDR/metrics" > .smoke/metrics.txt && \
-	curl -fsS "http://$$ADDR/snapshot/modules" > /dev/null; \
-	RC=$$?; kill $$SERVE_PID 2> /dev/null; test $$RC -eq 0
+	curl -fsS "http://$$ADDR/metrics?exemplars=1" > /dev/null && \
+	curl -fsS "http://$$ADDR/snapshot/modules" > /dev/null && \
+	curl -fsS "http://$$ADDR/snapshot/flightrecorder" > /dev/null && \
+	curl -fsS "http://$$ADDR/snapshot/slowops" > /dev/null; \
+	RC=$$?; kill -TERM $$SERVE_PID 2> /dev/null; wait $$SERVE_PID; \
+	WRC=$$?; test $$RC -eq 0 && test $$WRC -eq 0
 	$(GO) run ./tools/checkjson -promtext .smoke/metrics.txt
-	$(GO) run ./tools/checkjson -diff BENCH_5.json BENCH_6.json -threshold 50
+	$(GO) run ./tools/checkjson -flight .smoke/flight.json
+	GOMAXPROCS=1 ./.smoke/pimzd-trace analyze .smoke/flight.json > .smoke/an1.txt
+	GOMAXPROCS=4 ./.smoke/pimzd-trace analyze .smoke/flight.json > .smoke/an4.txt
+	cmp .smoke/an1.txt .smoke/an4.txt
+	$(GO) run ./tools/checkjson -diff BENCH_6.json BENCH_7.json -threshold 50
 	rm -rf .smoke
 
 # Micro-benchmarks of the parallel substrate (sort, semisort, scan).
@@ -74,8 +86,8 @@ bench-json:
 	$(GO) run ./cmd/pimzd-bench \
 		-experiment fig5a,fig5c,fig6,fig7,fig8,fig9,table2,table3,latency \
 		-format csv -warmup 30000 -batch 3000 -p 256 \
-		-bench-json BENCH_6.json > /dev/null
-	$(GO) run ./tools/checkjson -bench BENCH_6.json
+		-bench-json BENCH_7.json > /dev/null
+	$(GO) run ./tools/checkjson -bench BENCH_7.json
 
 # CPU-profile the hot query panels (kNN + box + search) at the standard
 # scaled-down size and print the flat top-15. The profile file is left in

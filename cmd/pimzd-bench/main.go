@@ -98,6 +98,12 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
 		serveAddr  = flag.String("serve", "", "serve live metrics (/metrics, /healthz, /debug/pprof) on this address while experiments run (host:0 for an ephemeral port)")
+
+		flightOut   = flag.String("flight-out", "", "write a per-op flight-recorder dump (JSON) to this file at exit")
+		flightRing  = flag.Int("flight", 256, "with -flight-out, flight-recorder ring capacity in ops")
+		slowMs      = flag.Float64("slow-ms", 0, "with -flight-out, capture ops whose wall time reaches this many milliseconds (0 = top-K by latency)")
+		slowModeled = flag.Float64("slow-modeled-us", 0, "with -flight-out, capture ops whose modeled time reaches this many microseconds")
+		slowK       = flag.Int("slow-k", 16, "with -flight-out, retained slow-op records")
 	)
 	flag.Parse()
 	obs.ServePprof(*pprofAddr)
@@ -139,10 +145,40 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "serving live metrics on http://%s/metrics\n", srv.Addr())
 	}
+	// Per-op tracing: one flight recorder outlives the per-experiment
+	// recorders (like the live registry), so trace IDs run through the whole
+	// suite and the final dump covers every experiment.
+	var flight *obs.FlightRecorder
+	if *flightOut != "" {
+		flight = obs.NewFlightRecorder(obs.FlightConfig{
+			Ring:               *flightRing,
+			SlowWallSeconds:    *slowMs / 1e3,
+			SlowModeledSeconds: *slowModeled / 1e6,
+			SlowK:              *slowK,
+		})
+	}
+	flushFlight := func() {
+		if flight == nil {
+			return
+		}
+		fd, err := os.Create(*flightOut)
+		if err == nil {
+			err = flight.WriteJSON(fd)
+			if cerr := fd.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	// newRecorder builds the per-experiment recorder: retained for trace
-	// export when -trace-out is set, streaming-only when just serving.
+	// export when -trace-out is set, streaming-only when just serving or
+	// flight-recording.
 	newRecorder := func() *obs.Recorder {
-		if *traceOut == "" && liveSink == nil {
+		if *traceOut == "" && liveSink == nil && flight == nil {
 			return nil
 		}
 		rec := obs.New()
@@ -156,6 +192,9 @@ func main() {
 			if *traceSmp == 0 && *traceOut == "" {
 				rec.SetModuleSampling(64)
 			}
+		}
+		if flight != nil {
+			rec.SetFlight(flight)
 		}
 		return rec
 	}
@@ -396,6 +435,7 @@ func main() {
 			perf.AddPanel("custom", time.Since(start).Seconds(), bench.OpsCount())
 		}
 		flushPerf()
+		flushFlight()
 		return
 	}
 
@@ -408,10 +448,12 @@ func main() {
 			run(id)
 		}
 		flushPerf()
+		flushFlight()
 		return
 	}
 	for _, id := range strings.Split(*experiment, ",") {
 		run(strings.TrimSpace(id))
 	}
 	flushPerf()
+	flushFlight()
 }

@@ -4,30 +4,42 @@
 // exports. While the workload loop executes batch after batch, the
 // endpoints serve:
 //
-//	/metrics            Prometheus text exposition v0.0.4 (op-latency
-//	                    histograms, round/traffic counters, Fig. 7
-//	                    imbalance gauges; ?modeled=1 for the deterministic
-//	                    subset)
-//	/healthz            health probe (ok once the warmup build finished)
-//	/snapshot/tree      JSON structural tree statistics
-//	/snapshot/modules   JSON per-module cumulative load heatmap
-//	/debug/pprof/       Go runtime profiles
+//	/metrics                  Prometheus text exposition v0.0.4 (op-latency
+//	                          histograms, round/traffic counters, Fig. 7
+//	                          imbalance gauges; ?modeled=1 for the
+//	                          deterministic subset, ?exemplars=1 for slow-op
+//	                          trace exemplars)
+//	/healthz                  health probe (ok once the warmup build finished)
+//	/snapshot/tree            JSON structural tree statistics
+//	/snapshot/modules         JSON per-module cumulative load heatmap
+//	/snapshot/flightrecorder  JSON per-op flight-recorder dump
+//	/snapshot/slowops         JSON slow-op records with full round detail
+//	/debug/pprof/             Go runtime profiles
+//
+// SIGINT/SIGTERM shut the server down gracefully: the workload loop stops
+// at the next batch boundary, the final flight-recorder dump is flushed to
+// -flight-out, and the admin server drains with a deadline.
 //
 // Usage:
 //
 //	pimzd-serve -addr 127.0.0.1:8585 -dataset osm -n 400000 -batch 10000
 //	pimzd-serve -addr 127.0.0.1:0 -port-file /tmp/port -duration 60s
 //	pimzd-serve -engine zd -n 100000            # shared-memory baseline
+//	pimzd-serve -slow-ms 5 -flight-out flight.json   # tail-sample slow ops
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"pimzdtree/internal/core"
@@ -107,6 +119,18 @@ func batchContains(pts []geom.Point, contains func(geom.Point) bool) {
 	}
 }
 
+func writeFlightDump(fr *obs.FlightRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8585", "admin HTTP address (host:0 for an ephemeral port)")
@@ -125,6 +149,13 @@ func main() {
 		iters    = flag.Int("iters", 0, "stop the workload after this many batches (0 = no limit)")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until killed)")
 		pause    = flag.Duration("pause", 0, "sleep between batches")
+
+		flightRing   = flag.Int("flight", 256, "flight-recorder ring capacity in ops (0 disables per-op tracing)")
+		slowMs       = flag.Float64("slow-ms", 0, "capture ops whose wall time reaches this many milliseconds (0 = top-K by latency)")
+		slowModeled  = flag.Float64("slow-modeled-us", 0, "capture ops whose modeled time reaches this many microseconds")
+		slowK        = flag.Int("slow-k", 16, "retained slow-op records")
+		flightOut    = flag.String("flight-out", "", "write the final flight-recorder dump (JSON) to this file on exit")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful admin-server drain deadline on shutdown")
 	)
 	flag.Parse()
 
@@ -158,6 +189,16 @@ func main() {
 	rec.SetRetainEvents(false)
 	rec.SetSink(metrics.NewObsSink(reg))
 	rec.SetModuleSampling(*sample)
+	var fr *obs.FlightRecorder
+	if *flightRing > 0 {
+		fr = obs.NewFlightRecorder(obs.FlightConfig{
+			Ring:               *flightRing,
+			SlowWallSeconds:    *slowMs / 1e3,
+			SlowModeledSeconds: *slowModeled / 1e6,
+			SlowK:              *slowK,
+		})
+		rec.SetFlight(fr)
+	}
 	wallSeconds := reg.NewHistogramVec(metrics.HistogramOpts{Opts: metrics.Opts{
 		Name: "pimzd_batch_wall_seconds",
 		Help: "Wall-clock time per workload batch (real time, not modeled).",
@@ -190,6 +231,7 @@ func main() {
 			}
 			return eng.moduleLoads()
 		},
+		Flight: fr,
 		Health: func() error {
 			if !ready.Load() {
 				return fmt.Errorf("warming up")
@@ -230,6 +272,11 @@ func main() {
 		return qs
 	}
 
+	// SIGINT/SIGTERM cancel ctx; the loop then stops at the next batch
+	// boundary instead of dying mid-batch.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	mix := strings.Split(*opsMix, ",")
 	var pending [][]geom.Point // inserted, not yet deleted
 	streamOff := 0
@@ -239,10 +286,14 @@ func main() {
 		deadline = start.Add(*duration)
 	}
 	for i := 0; *iters == 0 || i < *iters; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
 		op := strings.TrimSpace(mix[i%len(mix)])
+		traceBefore := fr.LastTrace()
 		t0 := time.Now()
 		engMu.Lock()
 		switch op {
@@ -270,20 +321,48 @@ func main() {
 			os.Exit(2)
 		}
 		engMu.Unlock()
-		wallSeconds.With(op).Observe(time.Since(t0).Seconds())
+		wall := time.Since(t0).Seconds()
+		// Exemplar the wall histogram with the batch's trace ID when the
+		// flight recorder assigned one (ops that ran no batch — an empty
+		// delete — advance no trace and get a plain observation).
+		if trace := fr.LastTrace(); trace != traceBefore {
+			wallSeconds.With(op).ObserveExemplar(wall, strconv.FormatUint(trace, 10))
+		} else {
+			wallSeconds.With(op).Observe(wall)
+		}
 		uptime.Set(time.Since(start).Seconds())
 		if *pause > 0 {
-			time.Sleep(*pause)
+			select {
+			case <-ctx.Done():
+			case <-time.After(*pause):
+			}
 		}
 	}
 
-	// Workload done (bounded -iters); keep serving until -duration elapses
-	// or forever, so scrapers can still read the final state.
-	if deadline.IsZero() {
-		if *iters > 0 {
-			select {} // serve forever
+	// Workload done (bounded -iters); keep serving until -duration elapses,
+	// a signal arrives, or forever, so scrapers can still read final state.
+	switch {
+	case ctx.Err() != nil:
+		// signaled during the workload: fall through to shutdown
+	case !deadline.IsZero():
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Until(deadline)):
 		}
-		return
+	case *iters > 0:
+		<-ctx.Done() // serve until signaled
 	}
-	time.Sleep(time.Until(deadline))
+
+	// Graceful shutdown: flush the final flight dump, then drain the admin
+	// server so in-flight scrapes finish.
+	if *flightOut != "" && fr.Enabled() {
+		if err := writeFlightDump(fr, *flightOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pimzd-serve: flight-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pimzd-serve: flight dump written to %s\n", *flightOut)
+	}
+	if err := srv.Shutdown(*drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "pimzd-serve: shutdown: %v\n", err)
+	}
 }

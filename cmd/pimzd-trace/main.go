@@ -14,11 +14,19 @@
 // bytes p50/p99/max plus an imbalance factor), sampled every -sample
 // rounds.
 //
+// The analyze subcommand reads a flight-recorder dump (pimzd-serve
+// -flight-out, pimzd-bench -flight-out, or /snapshot/flightrecorder) and
+// prints the deterministic critical-path report: per-op-type p50/p99
+// attribution to CPU/PIM/comm, the top straggler modules, and the per-op
+// round-imbalance ranking.
+//
 // Usage:
 //
 //	pimzd-trace -op knn -n 200000 -batch 5000 -tuning skew
 //	pimzd-trace -op knn -format chrome -out knn.trace.json
 //	pimzd-trace -op search -profile modules -sample 4
+//	pimzd-trace analyze flight.json
+//	pimzd-trace analyze -top 20 -out report.txt flight.json
 package main
 
 import (
@@ -35,6 +43,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		analyzeMain(os.Args[2:])
+		return
+	}
 	var (
 		op      = flag.String("op", "search", "operation: search, insert, delete, knn, boxcount, boxfetch")
 		dataset = flag.String("dataset", "uniform", "workload: uniform, cosmos, osm")
@@ -181,6 +193,53 @@ func main() {
 	if m.TotalSeconds() > 0 {
 		fmt.Fprintf(w, "throughput: %.2f M elements/s\n", float64(elements)/m.TotalSeconds()/1e6)
 	}
+}
+
+// analyzeMain implements `pimzd-trace analyze [-top N] [-out file] <dump>`:
+// the critical-path report over a flight-recorder dump. The report reads
+// only modeled fields, so it is byte-identical across runs and GOMAXPROCS.
+func analyzeMain(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	top := fs.Int("top", 10, "straggler modules to list")
+	out := fs.String("out", "", "write the report to file instead of stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pimzd-trace analyze [-top N] [-out file] <flight-dump.json>\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	fd, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+	dump, err := obs.ReadFlightDump(fd)
+	fd.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: parsing %s: %v\n", fs.Arg(0), err)
+		os.Exit(1)
+	}
+	if dump.Format != obs.FlightDumpFormat {
+		fmt.Fprintf(os.Stderr, "analyze: %s: unknown dump format %q (want %q)\n",
+			fs.Arg(0), dump.Format, obs.FlightDumpFormat)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	dump.WriteAnalysis(w, *top)
 }
 
 func min(a, b int) int {

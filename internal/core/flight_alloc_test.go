@@ -1,0 +1,70 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"pimzdtree/internal/obs"
+)
+
+// Steady-state allocation gates for the flight-recorder hooks, mirroring
+// wave_alloc_test.go. A streaming recorder with an attached FlightRecorder
+// is the always-on production wiring (pimzd-serve -flight), so the capture
+// path must reuse its scratch and ring-slot slices once the ring has
+// lapped: per batch it may allocate only the same user-visible outputs the
+// recorder-free gates pin, plus a constant handful for span bookkeeping.
+
+func TestSearchFlightOnSteadyStateAllocs(t *testing.T) {
+	if runtime.GOMAXPROCS(0) != 1 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
+	rec := obs.New()
+	rec.SetRetainEvents(false)
+	flight := obs.NewFlightRecorder(obs.FlightConfig{Ring: 4, SlowK: 2})
+	rec.SetFlight(flight)
+
+	tr, qs, _ := allocTree(t, ThroughputOptimized)
+	tr.System().SetRecorder(rec)
+	for i := 0; i < 8; i++ { // two laps of the 4-slot ring size the slots
+		tr.Search(qs)
+	}
+	before := flight.LastTrace()
+	allocs := testing.AllocsPerRun(5, func() { tr.Search(qs) })
+	// Same budget shape as the recorder-free gate plus a constant handful
+	// for the op span: the flight scratch, ring slots, and straggler lanes
+	// must all be reused once the ring has lapped. The top-K slow set is
+	// quiet too — identical batches have identical modeled time, and ties
+	// keep the incumbent.
+	if allocs > 32 {
+		t.Errorf("flight-on steady-state Search allocated %.0f times per batch, want <= 32", allocs)
+	}
+	if flight.LastTrace() <= before {
+		t.Fatal("flight recorder captured nothing during the gate")
+	}
+}
+
+func TestUpdateFlightOnSteadyStateAllocs(t *testing.T) {
+	if runtime.GOMAXPROCS(0) != 1 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
+	rec := obs.New()
+	rec.SetRetainEvents(false)
+	flight := obs.NewFlightRecorder(obs.FlightConfig{Ring: 4, SlowK: 2})
+	rec.SetFlight(flight)
+
+	tr, batch := updateAllocTree(t)
+	tr.System().SetRecorder(rec)
+	for i := 0; i < 4; i++ { // two laps: each cycle records two ops
+		tr.Insert(batch)
+		tr.Delete(batch)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		tr.Insert(batch)
+		tr.Delete(batch)
+	})
+	// The update-path budget from update_alloc_test.go plus the same
+	// constant span overhead.
+	if allocs > 2050 {
+		t.Errorf("flight-on steady-state Insert+Delete cycle allocated %.0f times, want <= 2050", allocs)
+	}
+}

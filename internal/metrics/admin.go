@@ -1,12 +1,14 @@
 package metrics
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 
 	"pimzdtree/internal/obs"
 )
@@ -23,8 +25,14 @@ import (
 //	GET /snapshot/modules  JSON per-module cumulative load heatmap with
 //	                       p50/p99/max/mean cycles+bytes and the Fig. 7
 //	                       imbalance factor.
+//	GET /snapshot/flightrecorder  JSON flight-recorder dump: the ring of
+//	                       recent per-op records plus the slow-op set.
+//	GET /snapshot/slowops  JSON slow-op records only (full round detail).
 //	GET /debug/pprof/*     Go runtime profiles.
 //	GET /                  plain-text endpoint index.
+//
+// /metrics also accepts ?exemplars=1 to render OpenMetrics exemplars
+// (trace IDs of recent slow ops) on histogram bucket lines.
 
 // AdminConfig wires the server to its data sources. Any source may be nil:
 // the corresponding endpoint then reports 404 (snapshots) or stays
@@ -38,6 +46,8 @@ type AdminConfig struct {
 	// ModuleLoads returns the cumulative per-module cycle and byte loads
 	// (pim.System.ModuleLoads) backing /snapshot/modules.
 	ModuleLoads func() (cycles, bytes []int64)
+	// Flight backs /snapshot/flightrecorder and /snapshot/slowops.
+	Flight *obs.FlightRecorder
 	// Health returns nil when the server should report healthy.
 	Health func() error
 }
@@ -65,11 +75,13 @@ func NewAdminHandler(cfg AdminConfig) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "pimzd admin endpoints:\n"+
-			"  /metrics            Prometheus text exposition (?modeled=1 for the deterministic subset)\n"+
-			"  /healthz            health probe\n"+
-			"  /snapshot/tree      JSON tree statistics\n"+
-			"  /snapshot/modules   JSON per-module load heatmap\n"+
-			"  /debug/pprof/       Go runtime profiles\n")
+			"  /metrics                   Prometheus text exposition (?modeled=1 deterministic subset, ?exemplars=1 trace exemplars)\n"+
+			"  /healthz                   health probe\n"+
+			"  /snapshot/tree             JSON tree statistics\n"+
+			"  /snapshot/modules          JSON per-module load heatmap\n"+
+			"  /snapshot/flightrecorder   JSON per-op flight-recorder dump\n"+
+			"  /snapshot/slowops          JSON slow-op records (full round detail)\n"+
+			"  /debug/pprof/              Go runtime profiles\n")
 	})
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -88,9 +100,12 @@ func NewAdminHandler(cfg AdminConfig) http.Handler {
 			http.Error(w, "no registry", http.StatusNotFound)
 			return
 		}
-		modeledOnly := r.URL.Query().Get("modeled") == "1"
+		opts := ExpoOpts{
+			ModeledOnly: r.URL.Query().Get("modeled") == "1",
+			Exemplars:   r.URL.Query().Get("exemplars") == "1",
+		}
 		w.Header().Set("Content-Type", ContentType)
-		if err := cfg.Registry.WriteText(w, modeledOnly); err != nil {
+		if err := cfg.Registry.WriteTextOpts(w, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: write: %v\n", err)
 		}
 	})
@@ -110,6 +125,22 @@ func NewAdminHandler(cfg AdminConfig) http.Handler {
 		}
 		cycles, bytes := cfg.ModuleLoads()
 		writeJSON(w, NewModuleSnapshot(cycles, bytes))
+	})
+
+	mux.HandleFunc("/snapshot/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		if !cfg.Flight.Enabled() {
+			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, cfg.Flight.Snapshot())
+	})
+
+	mux.HandleFunc("/snapshot/slowops", func(w http.ResponseWriter, r *http.Request) {
+		if !cfg.Flight.Enabled() {
+			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, cfg.Flight.SlowOps())
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -178,5 +209,16 @@ func StartAdmin(addr string, cfg AdminConfig) (*AdminServer, error) {
 // Addr returns the bound address (host:port).
 func (s *AdminServer) Addr() string { return s.l.Addr().String() }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight requests.
 func (s *AdminServer) Close() error { return s.srv.Close() }
+
+// Shutdown drains the server gracefully: in-flight requests get until the
+// deadline to finish, then the server closes hard.
+func (s *AdminServer) Shutdown(deadline time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -18,15 +18,33 @@ import (
 // ContentType is the HTTP Content-Type of the exposition.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// ExpoOpts selects what the exposition writer includes.
+type ExpoOpts struct {
+	// ModeledOnly skips families registered with Wall=true (real-time
+	// measurements), leaving only the deterministic modeled metrics CI can
+	// golden-test.
+	ModeledOnly bool
+	// Exemplars renders OpenMetrics exemplars (`# {trace_id="..."} value`)
+	// on histogram bucket lines that have one. Off by default: exemplar
+	// trace IDs depend on which op happened to land in a bucket last, so
+	// the golden modeled-only exposition must not carry them.
+	Exemplars bool
+}
+
 // WriteText renders the registry. With modeledOnly, families registered
 // with Wall=true (real-time measurements) are skipped, leaving only the
 // deterministic modeled metrics CI can golden-test.
+func (r *Registry) WriteText(w io.Writer, modeledOnly bool) error {
+	return r.WriteTextOpts(w, ExpoOpts{ModeledOnly: modeledOnly})
+}
+
+// WriteTextOpts renders the registry with full option control.
 //
 // The whole exposition is rendered into memory first and written to w
 // only after every family lock is released: w is typically an HTTP
 // response, and a slow scraper must never block the recorders feeding
 // the registry.
-func (r *Registry) WriteText(w io.Writer, modeledOnly bool) error {
+func (r *Registry) WriteTextOpts(w io.Writer, opts ExpoOpts) error {
 	if r == nil {
 		return nil
 	}
@@ -44,17 +62,17 @@ func (r *Registry) WriteText(w io.Writer, modeledOnly bool) error {
 
 	var buf bytes.Buffer
 	for _, f := range fams {
-		if modeledOnly && f.opts.Wall {
+		if opts.ModeledOnly && f.opts.Wall {
 			continue
 		}
-		f.writeText(&buf)
+		f.writeText(&buf, opts)
 	}
 	_, err := w.Write(buf.Bytes())
 	return err
 }
 
 // writeText renders one family block.
-func (f *family) writeText(w *bytes.Buffer) {
+func (f *family) writeText(w *bytes.Buffer, opts ExpoOpts) {
 	w.WriteString("# HELP ")
 	w.WriteString(f.opts.Name)
 	w.WriteByte(' ')
@@ -91,6 +109,9 @@ func (f *family) writeText(w *bytes.Buffer) {
 				writeLabels(w, f.opts.Label, k, "le", formatValue(b))
 				w.WriteByte(' ')
 				w.WriteString(strconv.FormatUint(cum, 10))
+				if opts.Exemplars {
+					writeExemplar(w, s.exem, i)
+				}
 				w.WriteByte('\n')
 			}
 			w.WriteString(f.opts.Name)
@@ -98,6 +119,9 @@ func (f *family) writeText(w *bytes.Buffer) {
 			writeLabels(w, f.opts.Label, k, "le", "+Inf")
 			w.WriteByte(' ')
 			w.WriteString(strconv.FormatUint(s.count, 10))
+			if opts.Exemplars {
+				writeExemplar(w, s.exem, len(f.bounds))
+			}
 			w.WriteByte('\n')
 			w.WriteString(f.opts.Name)
 			w.WriteString("_sum")
@@ -113,6 +137,18 @@ func (f *family) writeText(w *bytes.Buffer) {
 			w.WriteByte('\n')
 		}
 	}
+}
+
+// writeExemplar renders the OpenMetrics exemplar of bucket i, if any:
+// ` # {trace_id="N"} value`.
+func writeExemplar(w *bytes.Buffer, exem []exemplar, i int) {
+	if i >= len(exem) || !exem[i].ok {
+		return
+	}
+	w.WriteString(` # {trace_id="`)
+	w.WriteString(escapeLabel(exem[i].trace))
+	w.WriteString(`"} `)
+	w.WriteString(formatValue(exem[i].val))
 }
 
 // writeLabels renders the label set: the family's own dimension (when it

@@ -85,6 +85,22 @@ type series struct {
 	buckets []uint64 // histogram: observations <= bounds[i] (cumulative at export)
 	sum     float64
 	count   uint64
+	// exem holds at most one exemplar per bucket (index len(buckets) is the
+	// +Inf overflow bucket). Allocated lazily on the first ObserveExemplar,
+	// so plain histograms pay nothing; the exposition renders exemplars only
+	// when asked (ExpoOpts.Exemplars), keeping the golden modeled-only
+	// output byte-identical.
+	exem []exemplar
+}
+
+// exemplar is one OpenMetrics exemplar: the trace ID of a concrete
+// observation that landed in a bucket, plus its value. The newest
+// observation wins — exemplars point at recent slow ops, not the first
+// one ever seen.
+type exemplar struct {
+	trace string
+	val   float64
+	ok    bool
 }
 
 // Registry holds metric families. The zero value is not used; create with
@@ -380,6 +396,32 @@ func (h *Histogram) Observe(v float64) {
 	if i < len(h.s.buckets) {
 		h.s.buckets[i]++
 	}
+	h.s.sum += v
+	h.s.count++
+	f.mu.Unlock()
+}
+
+// ObserveExemplar records one value like Observe and attaches trace as the
+// exemplar of the bucket the value lands in (the newest exemplar per bucket
+// is kept). An empty trace degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	if trace == "" {
+		h.Observe(v)
+		return
+	}
+	f := h.f
+	i := sort.SearchFloat64s(f.bounds, v) // first bound >= v; len(bounds) = +Inf
+	f.mu.Lock()
+	if i < len(h.s.buckets) {
+		h.s.buckets[i]++
+	}
+	if h.s.exem == nil {
+		h.s.exem = make([]exemplar, len(f.bounds)+1)
+	}
+	h.s.exem[i] = exemplar{trace: trace, val: v, ok: true}
 	h.s.sum += v
 	h.s.count++
 	f.mu.Unlock()

@@ -18,7 +18,15 @@ import (
 
 // ParsedSample is one sample line.
 type ParsedSample struct {
-	Name   string
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *ParsedExemplar // OpenMetrics exemplar suffix, if present
+}
+
+// ParsedExemplar is the ` # {labels} value` exemplar suffix the writer can
+// attach to histogram bucket lines.
+type ParsedExemplar struct {
 	Labels map[string]string
 	Value  float64
 }
@@ -116,11 +124,17 @@ func LintText(r io.Reader) error {
 				if s.Value < 0 {
 					return fmt.Errorf("%s: negative counter value %v", f.Name, s.Value)
 				}
+				if s.Exemplar != nil {
+					return fmt.Errorf("%s: exemplar on a counter sample", f.Name)
+				}
 			}
 		case "gauge":
 			for _, s := range f.Samples {
 				if s.Name != f.Name {
 					return fmt.Errorf("%s: stray sample name %s", f.Name, s.Name)
+				}
+				if s.Exemplar != nil {
+					return fmt.Errorf("%s: exemplar on a gauge sample", f.Name)
 				}
 			}
 		case "histogram":
@@ -190,11 +204,25 @@ func lintHistogram(f ParsedFamily) error {
 			if s.Value < st.last {
 				return fmt.Errorf("%s: bucket counts not cumulative at le=%q", f.Name, le)
 			}
+			if ex := s.Exemplar; ex != nil {
+				if _, ok := ex.Labels["trace_id"]; !ok {
+					return fmt.Errorf("%s: exemplar at le=%q missing trace_id", f.Name, le)
+				}
+				if ex.Value > bound {
+					return fmt.Errorf("%s: exemplar value %v above its bucket bound le=%q", f.Name, ex.Value, le)
+				}
+			}
 			st.lastLe, st.last = bound, s.Value
 			st.buckets++
 		case f.Name + "_sum":
+			if s.Exemplar != nil {
+				return fmt.Errorf("%s: exemplar on _sum", f.Name)
+			}
 			st.sum = true
 		case f.Name + "_count":
+			if s.Exemplar != nil {
+				return fmt.Errorf("%s: exemplar on _count", f.Name)
+			}
 			st.count, st.hasCnt = s.Value, true
 		default:
 			return fmt.Errorf("%s: stray sample name %s", f.Name, s.Name)
@@ -264,6 +292,11 @@ func parseSample(line string) (ParsedSample, error) {
 		rest = rest[end:]
 	}
 	rest = strings.TrimLeft(rest, " ")
+	var exPart string
+	if j := strings.Index(rest, " # "); j >= 0 {
+		exPart = rest[j+3:]
+		rest = rest[:j]
+	}
 	if rest == "" {
 		return s, fmt.Errorf("missing value in %q", line)
 	}
@@ -275,7 +308,38 @@ func parseSample(line string) (ParsedSample, error) {
 		return s, fmt.Errorf("bad value %q: %v", rest, err)
 	}
 	s.Value = v
+	if exPart != "" {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return s, fmt.Errorf("bad exemplar in %q: %v", line, err)
+		}
+		s.Exemplar = ex
+	}
 	return s, nil
+}
+
+// parseExemplar parses the `{k="v",...} value` exemplar body (the ` # `
+// marker already stripped).
+func parseExemplar(text string) (*ParsedExemplar, error) {
+	if text == "" || text[0] != '{' {
+		return nil, fmt.Errorf("exemplar must start with a label set")
+	}
+	end, labels, err := parseLabels(text)
+	if err != nil {
+		return nil, err
+	}
+	rest := strings.TrimLeft(text[end:], " ")
+	if rest == "" {
+		return nil, fmt.Errorf("missing exemplar value")
+	}
+	if strings.ContainsRune(rest, ' ') {
+		return nil, fmt.Errorf("unexpected trailing fields after exemplar value (timestamps unsupported)")
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %v", rest, err)
+	}
+	return &ParsedExemplar{Labels: labels, Value: v}, nil
 }
 
 // parseLabels scans a {k="v",...} block starting at text[0] == '{' and

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"strconv"
+
 	"pimzdtree/internal/obs"
 )
 
@@ -102,13 +104,19 @@ func NewObsSink(reg *Registry) *ObsSink {
 
 // OnSpanEnd aggregates closed operation spans. Phase spans are skipped:
 // their per-round attribution already flows through OnRound, and names
-// like "wave-3" would fan out into unbounded label cardinality.
+// like "wave-3" would fan out into unbounded label cardinality. Ops that
+// carry a flight-recorder trace ID attach it as the latency bucket's
+// exemplar, linking the histogram to the per-op record.
 func (s *ObsSink) OnSpanEnd(e obs.Event) {
 	if s == nil || e.Kind != obs.KindOp {
 		return
 	}
 	s.ops.With(e.Name).Add(1)
-	s.opSeconds.With(e.Name).Observe(e.Dur)
+	if e.Trace != 0 {
+		s.opSeconds.With(e.Name).ObserveExemplar(e.Dur, strconv.FormatUint(e.Trace, 10))
+	} else {
+		s.opSeconds.With(e.Name).Observe(e.Dur)
+	}
 	s.opRounds.With(e.Name).Add(float64(e.Rounds))
 }
 

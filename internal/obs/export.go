@@ -65,15 +65,19 @@ func (r *Recorder) ExportChrome(w io.Writer) error {
 		dur := us(e.Dur)
 		switch e.Kind {
 		case KindOp, KindPhase:
+			args := map[string]any{
+				"cpu_us":  us(e.Breakdown.CPUSeconds),
+				"pim_us":  us(e.Breakdown.PIMSeconds),
+				"comm_us": us(e.Breakdown.CommSeconds),
+				"rounds":  e.Rounds,
+			}
+			if e.Trace != 0 {
+				args["trace"] = e.Trace
+			}
 			out = append(out, chromeEvent{
 				Name: e.Name, Ph: "X", Ts: ts, Dur: &dur,
 				Pid: chromePid, Tid: tidSpans, Cat: e.Kind.String(),
-				Args: map[string]any{
-					"cpu_us":  us(e.Breakdown.CPUSeconds),
-					"pim_us":  us(e.Breakdown.PIMSeconds),
-					"comm_us": us(e.Breakdown.CommSeconds),
-					"rounds":  e.Rounds,
-				},
+				Args: args,
 			})
 		case KindRound:
 			args := map[string]any{
@@ -156,6 +160,7 @@ type jsonlEvent struct {
 	PIMUs   float64      `json:"pim_us,omitempty"`
 	CommUs  float64      `json:"comm_us,omitempty"`
 	Rounds  int64        `json:"rounds,omitempty"`
+	Trace   uint64       `json:"trace,omitempty"`
 	Round   *RoundInfo   `json:"round,omitempty"`
 	CPU     *CPUInfo     `json:"cpu,omitempty"`
 	Profile *LoadProfile `json:"profile,omitempty"`
@@ -178,6 +183,7 @@ func (r *Recorder) ExportJSONL(w io.Writer) error {
 			PIMUs:   e.Breakdown.PIMSeconds * 1e6,
 			CommUs:  e.Breakdown.CommSeconds * 1e6,
 			Rounds:  e.Rounds,
+			Trace:   e.Trace,
 			Round:   e.Round,
 			CPU:     e.CPU,
 			Profile: e.Profile,

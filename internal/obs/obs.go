@@ -81,6 +81,12 @@ type RoundInfo struct {
 	BytesToPIM    int64
 	BytesFromPIM  int64
 	Seconds       float64 // total modeled round time (PIM + comm)
+
+	// Straggler is the unique module id with the highest cycle count this
+	// round (bytes break ties and stand in for pure-transfer rounds), or -1
+	// when no single module dominates. Excluded from JSON so the golden
+	// JSONL/Chrome exports stay byte-identical.
+	Straggler int `json:"-"`
 }
 
 // Utilization returns the fraction of aggregate PIM compute the round
@@ -126,6 +132,11 @@ type Event struct {
 	// Profile is the sampled per-module load snapshot (rounds only, when
 	// module sampling is on and this round was sampled).
 	Profile *LoadProfile
+
+	// Trace is the per-op trace ID assigned by an attached FlightRecorder
+	// (op spans only; 0 when per-op tracing is off). Exporters omit zero
+	// values, so enabling capture never perturbs capture-off output.
+	Trace uint64
 }
 
 // Sink receives the event stream live, as it is recorded — the feed the
@@ -172,6 +183,11 @@ type Recorder struct {
 	events   []Event
 	stack    []spanRef
 	counters map[string]int64
+
+	// flight, when non-nil, receives one compact OpRecord per top-level op
+	// (see flight.go); opTrace is the in-flight op's trace ID.
+	flight  *FlightRecorder
+	opTrace uint64
 }
 
 // New returns an enabled recorder with module-load sampling off and event
@@ -205,6 +221,30 @@ func (r *Recorder) SetRetainEvents(keep bool) {
 	r.mu.Lock()
 	r.retain = keep
 	r.mu.Unlock()
+}
+
+// SetFlight attaches (or detaches, with nil) a per-op flight recorder:
+// every subsequent top-level op span gets a trace ID and publishes an
+// OpRecord on close. Exactly one recorder may feed a FlightRecorder at a
+// time (the in-flight scratch is owned by the recorder's lock).
+func (r *Recorder) SetFlight(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.flight = f
+	r.mu.Unlock()
+}
+
+// Flight returns the attached flight recorder (nil when per-op tracing is
+// off; FlightRecorder methods are nil-safe).
+func (r *Recorder) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flight
 }
 
 // Enabled reports whether the recorder is collecting. Instrumented code
@@ -260,8 +300,13 @@ func (r *Recorder) EndPhase() { r.end() }
 // push opens a span; caller holds r.mu.
 func (r *Recorder) push(kind Kind, name string) {
 	op, phase := r.attribution()
+	var trace uint64
 	if kind == KindOp {
 		op = name
+		if r.flight != nil {
+			trace = r.flight.beginOp(name)
+			r.opTrace = trace
+		}
 	} else {
 		phase = name
 	}
@@ -272,6 +317,7 @@ func (r *Recorder) push(kind Kind, name string) {
 		Phase: phase,
 		Depth: len(r.stack),
 		Start: r.clock,
+		Trace: trace,
 	})
 	r.stack = append(r.stack, spanRef{
 		idx:        len(r.events) - 1,
@@ -296,6 +342,10 @@ func (r *Recorder) end() {
 	ev.Dur = r.clock - ref.startClock
 	ev.Breakdown = r.total.sub(ref.startTotal)
 	ev.Rounds = r.rounds - ref.startRound
+	if ev.Kind == KindOp && r.flight != nil && r.opTrace != 0 {
+		r.flight.endOp(ev.Breakdown, ev.Rounds)
+		r.opTrace = 0
+	}
 	if r.sink != nil {
 		r.sink.OnSpanEnd(*ev)
 	}
@@ -336,31 +386,39 @@ func (r *Recorder) RecordRound(ri RoundInfo, pimSec, commSec float64, loads func
 	defer r.mu.Unlock()
 	r.rounds++
 	ri.Seq = r.rounds
-	op, phase := r.attribution()
-	ev := Event{
-		Kind:  KindRound,
-		Name:  "round",
-		Op:    op,
-		Phase: phase,
-		Depth: len(r.stack),
-		Start: r.clock,
-		Dur:   ri.Seconds,
-		Breakdown: Breakdown{
-			PIMSeconds:  pimSec,
-			CommSeconds: commSec,
-		},
-		Round: &ri,
+	if r.flight.opOpen() {
+		r.flight.addRound(ri, pimSec, commSec)
 	}
-	if r.sampleEvery > 0 && r.rounds%r.sampleEvery == 0 && loads != nil {
-		cycles, bytes := loads()
-		p := NewLoadProfile(cycles, bytes)
-		ev.Profile = &p
-	}
-	if r.retain {
-		r.events = append(r.events, ev)
-	}
-	if r.sink != nil {
-		r.sink.OnRound(ev)
+	// The event payload is only built for consumers: retained streams and
+	// live sinks. A flight-only recorder (streaming, no sink) records per-op
+	// rounds above without boxing a RoundInfo per round.
+	if r.retain || r.sink != nil {
+		op, phase := r.attribution()
+		ev := Event{
+			Kind:  KindRound,
+			Name:  "round",
+			Op:    op,
+			Phase: phase,
+			Depth: len(r.stack),
+			Start: r.clock,
+			Dur:   ri.Seconds,
+			Breakdown: Breakdown{
+				PIMSeconds:  pimSec,
+				CommSeconds: commSec,
+			},
+			Round: &ri,
+		}
+		if r.sampleEvery > 0 && r.rounds%r.sampleEvery == 0 && loads != nil {
+			cycles, bytes := loads()
+			p := NewLoadProfile(cycles, bytes)
+			ev.Profile = &p
+		}
+		if r.retain {
+			r.events = append(r.events, ev)
+		}
+		if r.sink != nil {
+			r.sink.OnRound(ev)
+		}
 	}
 	r.clock += ri.Seconds
 	r.total.PIMSeconds += pimSec
@@ -374,23 +432,25 @@ func (r *Recorder) RecordCPUPhase(ci CPUInfo) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	op, phase := r.attribution()
-	ev := Event{
-		Kind:      KindCPU,
-		Name:      "cpu",
-		Op:        op,
-		Phase:     phase,
-		Depth:     len(r.stack),
-		Start:     r.clock,
-		Dur:       ci.Seconds,
-		Breakdown: Breakdown{CPUSeconds: ci.Seconds},
-		CPU:       &ci,
-	}
-	if r.retain {
-		r.events = append(r.events, ev)
-	}
-	if r.sink != nil {
-		r.sink.OnCPUPhase(ev)
+	if r.retain || r.sink != nil {
+		op, phase := r.attribution()
+		ev := Event{
+			Kind:      KindCPU,
+			Name:      "cpu",
+			Op:        op,
+			Phase:     phase,
+			Depth:     len(r.stack),
+			Start:     r.clock,
+			Dur:       ci.Seconds,
+			Breakdown: Breakdown{CPUSeconds: ci.Seconds},
+			CPU:       &ci,
+		}
+		if r.retain {
+			r.events = append(r.events, ev)
+		}
+		if r.sink != nil {
+			r.sink.OnCPUPhase(ev)
+		}
 	}
 	r.clock += ci.Seconds
 	r.total.CPUSeconds += ci.Seconds

@@ -167,6 +167,12 @@ type RoundStats struct {
 	BytesFromPIM  int64
 	ActiveModules int
 	Seconds       float64
+
+	// Straggler is the unique module id with the highest cycle count
+	// (bytes break ties; pure-transfer rounds fall back to bytes alone),
+	// or -1 when no single module dominates — broadcasts and perfectly
+	// balanced rounds blame nobody.
+	Straggler int
 }
 
 // Round executes one BSP round. handler is invoked in parallel for every
@@ -184,14 +190,27 @@ func (s *System) Round(active []int, handler func(m *Module)) RoundStats {
 	})
 	var st RoundStats
 	st.ActiveModules = len(active)
+	st.Straggler = -1
+	var stragBytes int64
+	stragUnique := false
 	for _, id := range active {
 		m := s.modules[id]
+		mBytes := m.recvBytes + m.sendBytes
+		switch {
+		case m.cycles > st.MaxCycles || (m.cycles == st.MaxCycles && mBytes > stragBytes):
+			st.Straggler, stragBytes, stragUnique = id, mBytes, true
+		case m.cycles == st.MaxCycles && mBytes == stragBytes:
+			stragUnique = false
+		}
 		if m.cycles > st.MaxCycles {
 			st.MaxCycles = m.cycles
 		}
 		st.TotalCycles += m.cycles
 		st.BytesToPIM += m.recvBytes
 		st.BytesFromPIM += m.sendBytes
+	}
+	if !stragUnique {
+		st.Straggler = -1
 	}
 	bytes := st.BytesToPIM + st.BytesFromPIM
 	st.Seconds = s.Machine.PIMRound(st.MaxCycles, bytes, st.ActiveModules, s.DirectAPI)
@@ -222,6 +241,7 @@ func (s *System) Round(active []int, handler func(m *Module)) RoundStats {
 			BytesToPIM:    st.BytesToPIM,
 			BytesFromPIM:  st.BytesFromPIM,
 			Seconds:       st.Seconds,
+			Straggler:     st.Straggler,
 		}, pimSec, st.Seconds-pimSec, func() (cycles, byteLoads []int64) {
 			// Modules are quiescent between rounds; the closure runs only
 			// for sampled rounds, so unsampled rounds never pay the copy.

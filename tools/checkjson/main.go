@@ -9,6 +9,10 @@
 //	checkjson -promtext file.txt  # Prometheus text exposition: must parse
 //	                              # and pass the exposition lint (sorted
 //	                              # families, histogram invariants)
+//	checkjson -flight file.json   # flight-recorder dump: format id, ring
+//	                              # ordered by trace, records internally
+//	                              # consistent (non-negative counters,
+//	                              # straggler >= -1, rounds match detail)
 //	checkjson -diff old.json new.json [-threshold pct]
 //	                              # perf-regression gate between two
 //	                              # -bench-json reports: fail when any
@@ -27,6 +31,7 @@ import (
 	"strconv"
 
 	"pimzdtree/internal/metrics"
+	"pimzdtree/internal/obs"
 )
 
 func main() {
@@ -35,6 +40,7 @@ func main() {
 		jsonl     = flag.String("jsonl", "", "validate a JSONL file line by line")
 		bench     = flag.String("bench", "", "validate a pimzd-bench -bench-json perf report")
 		promtext  = flag.String("promtext", "", "lint a Prometheus text exposition file")
+		flight    = flag.String("flight", "", "validate a flight-recorder dump (pimzd-serve/-bench -flight-out)")
 		diffMode  = flag.Bool("diff", false, "diff two -bench-json reports: checkjson -diff old.json new.json")
 		threshold = flag.Float64("threshold", 10, "with -diff, regression threshold in percent")
 	)
@@ -56,6 +62,10 @@ func main() {
 		if err := checkPromText(*promtext); err != nil {
 			fail(*promtext, err)
 		}
+	case *flight != "":
+		if err := checkFlight(*flight); err != nil {
+			fail(*flight, err)
+		}
 	case *diffMode:
 		paths, err := diffArgs(flag.Args(), threshold)
 		if err != nil {
@@ -66,7 +76,7 @@ func main() {
 			fail(paths[1], err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl | -bench file.json | -promtext file.txt | -diff old.json new.json [-threshold pct]")
+		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl | -bench file.json | -promtext file.txt | -flight file.json | -diff old.json new.json [-threshold pct]")
 		os.Exit(2)
 	}
 }
@@ -178,6 +188,84 @@ func checkBench(path string) error {
 	}
 	if doc.TotalSeconds <= 0 {
 		return fmt.Errorf("non-positive total_seconds")
+	}
+	return nil
+}
+
+func checkFlight(path string) error {
+	fd, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	d, err := obs.ReadFlightDump(fd)
+	if err != nil {
+		return err
+	}
+	if d.Format != obs.FlightDumpFormat {
+		return fmt.Errorf("format %q, want %q", d.Format, obs.FlightDumpFormat)
+	}
+	if d.Captured < int64(len(d.Ring)) {
+		return fmt.Errorf("captured %d < ring length %d", d.Captured, len(d.Ring))
+	}
+	if d.Dropped < 0 {
+		return fmt.Errorf("negative dropped count %d", d.Dropped)
+	}
+	if d.Captured > 0 && len(d.Ring) == 0 {
+		return fmt.Errorf("captured %d ops but empty ring", d.Captured)
+	}
+	var prev uint64
+	for i := range d.Ring {
+		r := &d.Ring[i]
+		if r.Trace <= prev {
+			return fmt.Errorf("ring[%d]: trace %d not increasing (prev %d)", i, r.Trace, prev)
+		}
+		prev = r.Trace
+		if err := checkOpRecord(r); err != nil {
+			return fmt.Errorf("ring[%d]: %v", i, err)
+		}
+	}
+	for i := range d.Slow {
+		if err := checkOpRecord(&d.Slow[i]); err != nil {
+			return fmt.Errorf("slow[%d]: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// checkOpRecord validates one per-op record's internal consistency.
+func checkOpRecord(r *obs.OpRecord) error {
+	switch {
+	case r.Trace == 0:
+		return fmt.Errorf("zero trace ID")
+	case r.Op == "":
+		return fmt.Errorf("trace %d: empty op name", r.Trace)
+	case r.WallSeconds < 0 || r.CPUSeconds < 0 || r.PIMSeconds < 0 || r.CommSeconds < 0:
+		return fmt.Errorf("trace %d: negative time", r.Trace)
+	case r.Rounds < 0 || r.MaxActive < 0:
+		return fmt.Errorf("trace %d: negative rounds or active-module count", r.Trace)
+	case r.Straggler < -1:
+		return fmt.Errorf("trace %d: straggler %d below -1", r.Trace, r.Straggler)
+	case r.Straggler == -1 && r.StragglerRounds != 0:
+		return fmt.Errorf("trace %d: straggler rounds %d without a straggler", r.Trace, r.StragglerRounds)
+	case int64(len(r.RoundDetail)) > r.Rounds:
+		return fmt.Errorf("trace %d: %d detailed rounds exceed round count %d", r.Trace, len(r.RoundDetail), r.Rounds)
+	case !r.Truncated && int64(len(r.RoundDetail)) != r.Rounds:
+		return fmt.Errorf("trace %d: %d detailed rounds != %d rounds on an untruncated record", r.Trace, len(r.RoundDetail), r.Rounds)
+	}
+	for j, rd := range r.RoundDetail {
+		switch {
+		case rd.Active < 0 || rd.MaxCycles < 0 || rd.TotalCycles < 0 || rd.BytesToPIM < 0 || rd.BytesFromPIM < 0:
+			return fmt.Errorf("trace %d round %d: negative counter", r.Trace, j)
+		case rd.MaxCycles > rd.TotalCycles:
+			return fmt.Errorf("trace %d round %d: max cycles %d > total %d", r.Trace, j, rd.MaxCycles, rd.TotalCycles)
+		case rd.PIMSeconds < 0 || rd.CommSeconds < 0:
+			return fmt.Errorf("trace %d round %d: negative modeled time", r.Trace, j)
+		case rd.Straggler < -1:
+			return fmt.Errorf("trace %d round %d: straggler %d below -1", r.Trace, j, rd.Straggler)
+		case rd.Straggler >= 0 && rd.Active == 0:
+			return fmt.Errorf("trace %d round %d: straggler %d in an idle round", r.Trace, j, rd.Straggler)
+		}
 	}
 	return nil
 }
