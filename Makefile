@@ -32,7 +32,10 @@ race:
 # must come up with the flight recorder armed, pass its health probe, serve
 # a lint-clean Prometheus exposition plus both flight snapshots, and — on
 # SIGTERM — drain gracefully and flush a valid flight dump whose analyze
-# report is byte-identical across GOMAXPROCS; and the perf trajectory must
+# report is byte-identical across GOMAXPROCS; the concurrent serving
+# engine must absorb parallel HTTP+TCP clients (pimzd-loadgen) with a
+# mid-load /metrics scrape and drain cleanly on SIGTERM, and a short
+# in-process saturation sweep must complete; and the perf trajectory must
 # not regress past 50% between the last two recorded BENCH_*.json reports.
 smoke:
 	mkdir -p .smoke
@@ -70,7 +73,32 @@ smoke:
 	GOMAXPROCS=1 ./.smoke/pimzd-trace analyze .smoke/flight.json > .smoke/an1.txt
 	GOMAXPROCS=4 ./.smoke/pimzd-trace analyze .smoke/flight.json > .smoke/an4.txt
 	cmp .smoke/an1.txt .smoke/an4.txt
-	$(GO) run ./tools/checkjson -diff BENCH_6.json BENCH_7.json -threshold 50
+	$(GO) build -o .smoke/pimzd-loadgen ./cmd/pimzd-loadgen
+	./.smoke/pimzd-serve -addr 127.0.0.1:0 -port-file .smoke/cport \
+		-tcp 127.0.0.1:0 -tcp-port-file .smoke/ctcp -ops "" \
+		-n 20000 -p 128 -duration 60s & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 100); do test -s .smoke/cport && test -s .smoke/ctcp && break; sleep 0.1; done; \
+	test -s .smoke/cport || { kill $$SERVE_PID; echo "serve: no port file"; exit 1; }; \
+	ADDR=$$(cat .smoke/cport); TCP=$$(cat .smoke/ctcp); \
+	for i in $$(seq 1 100); do \
+		curl -fsS "http://$$ADDR/healthz" > /dev/null 2>&1 && break; sleep 0.2; done; \
+	./.smoke/pimzd-loadgen -http $$ADDR -tcp $$TCP -workers 6 -duration 4s \
+		-n 20000 > .smoke/loadgen.json & \
+	LOAD_PID=$$!; \
+	sleep 2; \
+	curl -fsS "http://$$ADDR/metrics" > .smoke/serve-metrics.txt; \
+	MRC=$$?; wait $$LOAD_PID; LRC=$$?; \
+	grep -q '^pimzd_requests_total' .smoke/serve-metrics.txt; GRC=$$?; \
+	kill -TERM $$SERVE_PID 2> /dev/null; wait $$SERVE_PID; WRC=$$?; \
+	test $$MRC -eq 0 && test $$LRC -eq 0 && test $$GRC -eq 0 && test $$WRC -eq 0
+	$(GO) run ./tools/checkjson -promtext .smoke/serve-metrics.txt
+	$(GO) run ./cmd/pimzd-bench -experiment saturate -format csv \
+		-warmup 10000 -batch 1000 -p 128 > .smoke/saturate.csv
+	test -s .smoke/saturate.csv
+	$(GO) run ./tools/checkjson -diff BENCH_7.json BENCH_8.json -threshold 50
+	$(GO) run ./tools/checkjson -diff BENCH_7.json BENCH_8.json -threshold 50 \
+		-panels fig5a,fig6,table2
 	rm -rf .smoke
 
 # Micro-benchmarks of the parallel substrate (sort, semisort, scan).
@@ -84,10 +112,10 @@ bench:
 # is the wall-clock that changes.)
 bench-json:
 	$(GO) run ./cmd/pimzd-bench \
-		-experiment fig5a,fig5c,fig6,fig7,fig8,fig9,table2,table3,latency \
+		-experiment fig5a,fig5c,fig6,fig7,fig8,fig9,table2,table3,latency,saturate \
 		-format csv -warmup 30000 -batch 3000 -p 256 \
-		-bench-json BENCH_7.json > /dev/null
-	$(GO) run ./tools/checkjson -bench BENCH_7.json
+		-bench-json BENCH_8.json > /dev/null
+	$(GO) run ./tools/checkjson -bench BENCH_8.json
 
 # CPU-profile the hot query panels (kNN + box + search) at the standard
 # scaled-down size and print the flat top-15. The profile file is left in

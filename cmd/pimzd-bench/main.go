@@ -9,7 +9,8 @@
 //
 // Experiments: fig5a fig5b fig5c fig6 fig7 fig8 fig9 table2 table3
 // latency dims datasets all; extensions: energy strawman pscale future
-// bounds. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// bounds saturate (wall-clock serving sweep, excluded from `all`). See
+// DESIGN.md for the experiment index and EXPERIMENTS.md for
 // paper-vs-measured values.
 package main
 
@@ -379,6 +380,16 @@ func main() {
 			}
 		case "datasets":
 			bench.DatasetInfo(os.Stdout, p)
+		case "saturate":
+			// Wall-clock serving capacity (FIFO vs epoch pipeline); not in
+			// `-experiment all` because its CSV is timing-dependent, unlike
+			// the byte-stable modeled panels.
+			rows := bench.Saturate(p)
+			if csvMode {
+				check(bench.SaturateCSV(os.Stdout, rows))
+			} else {
+				bench.RenderSaturate(os.Stdout, rows)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)

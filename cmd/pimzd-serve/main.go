@@ -1,14 +1,27 @@
 // Command pimzd-serve runs a PIM-zd-tree (or a baseline tree) as a
-// long-lived service driven by a synthetic workload, with a live admin
-// HTTP surface — the scrape-able counterpart of pimzd-trace's post-hoc
-// exports. While the workload loop executes batch after batch, the
-// endpoints serve:
+// long-lived concurrent service. All index access flows through the
+// epoch-pipelined serving engine (internal/serve): concurrent client
+// requests land in sharded intake queues, a builder coalesces them into
+// the tree's native batch ops, and an executor runs read epochs against
+// the stable published root while the next update epoch forms behind
+// them. The optional built-in synthetic workload (-ops) is just another
+// client of the same engine.
 //
-//	/metrics                  Prometheus text exposition v0.0.4 (op-latency
-//	                          histograms, round/traffic counters, Fig. 7
-//	                          imbalance gauges; ?modeled=1 for the
-//	                          deterministic subset, ?exemplars=1 for slow-op
-//	                          trace exemplars)
+// Client APIs:
+//
+//	POST /v1/{search,insert,delete,knn,box}   HTTP/JSON (admin listener)
+//	GET  /v1/status                           engine snapshot
+//	-tcp host:port                            length-prefixed binary frames
+//	                                          (see internal/serve wire.go)
+//
+// Admin/observability endpoints (same listener as /v1):
+//
+//	/metrics                  Prometheus text exposition v0.0.4: modeled
+//	                          tree counters plus Wall-marked serving
+//	                          families — per-request latency histograms,
+//	                          intake queue depth, epoch occupancy, shed
+//	                          counters (?modeled=1 for the deterministic
+//	                          subset, ?exemplars=1 for trace exemplars)
 //	/healthz                  health probe (ok once the warmup build finished)
 //	/snapshot/tree            JSON structural tree statistics
 //	/snapshot/modules         JSON per-module cumulative load heatmap
@@ -16,16 +29,19 @@
 //	/snapshot/slowops         JSON slow-op records with full round detail
 //	/debug/pprof/             Go runtime profiles
 //
-// SIGINT/SIGTERM shut the server down gracefully: the workload loop stops
-// at the next batch boundary, the final flight-recorder dump is flushed to
-// -flight-out, and the admin server drains with a deadline.
+// SIGINT/SIGTERM shut the server down gracefully: intake closes (new
+// requests get 503 / shutdown frames), admitted requests drain until
+// -drain-timeout, anything still pending past the deadline completes
+// with an explicit 503 instead of hanging, client connections drain,
+// the final flight-recorder dump flushes to -flight-out, and the admin
+// server drains last.
 //
 // Usage:
 //
 //	pimzd-serve -addr 127.0.0.1:8585 -dataset osm -n 400000 -batch 10000
-//	pimzd-serve -addr 127.0.0.1:0 -port-file /tmp/port -duration 60s
+//	pimzd-serve -addr 127.0.0.1:0 -port-file /tmp/port -tcp 127.0.0.1:0 -tcp-port-file /tmp/tcp
 //	pimzd-serve -engine zd -n 100000            # shared-memory baseline
-//	pimzd-serve -slow-ms 5 -flight-out flight.json   # tail-sample slow ops
+//	pimzd-serve -mode fifo                      # no-coalescing baseline scheduler
 package main
 
 import (
@@ -33,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -48,24 +65,85 @@ import (
 	"pimzdtree/internal/metrics"
 	"pimzdtree/internal/obs"
 	"pimzdtree/internal/pkdtree"
+	"pimzdtree/internal/serve"
 	"pimzdtree/internal/workload"
 	"pimzdtree/internal/zdtree"
 )
 
-// engine abstracts the three tree implementations behind the batch ops the
-// workload loop drives.
-type engine struct {
-	name        string
-	search      func(pts []geom.Point)
-	insert      func(pts []geom.Point)
-	remove      func(pts []geom.Point)
-	knn         func(pts []geom.Point, k int)
-	box         func(boxes []geom.Box)
+// baselineBackend adapts the CPU baseline trees (zd, pkd) to the serving
+// engine's Backend interface. The epoch counter mirrors core.Tree's
+// publication protocol: one bump per applied update batch.
+type baselineBackend struct {
+	dims   uint8
+	search func(p geom.Point) bool
+	insert func(pts []geom.Point)
+	remove func(pts []geom.Point)
+	knn    func(pts []geom.Point, k int) [][]core.Neighbor
+	box    func(boxes []geom.Box) []int64
+	epoch  atomic.Uint64
+}
+
+func (b *baselineBackend) Dims() uint8 { return b.dims }
+func (b *baselineBackend) SearchBatch(pts []geom.Point) []bool {
+	found := make([]bool, len(pts))
+	for i, p := range pts {
+		found[i] = b.search(p)
+	}
+	return found
+}
+func (b *baselineBackend) InsertBatch(pts []geom.Point) { b.insert(pts); b.epoch.Add(1) }
+func (b *baselineBackend) DeleteBatch(pts []geom.Point) { b.remove(pts); b.epoch.Add(1) }
+func (b *baselineBackend) KNNBatch(pts []geom.Point, k int) [][]core.Neighbor {
+	return b.knn(pts, k)
+}
+func (b *baselineBackend) BoxCountBatch(boxes []geom.Box) []int64 { return b.box(boxes) }
+func (b *baselineBackend) Epoch() uint64                          { return b.epoch.Load() }
+
+// lockedBackend serializes backend batches with the admin stats snapshot:
+// the engine executor is the only batch caller, but /snapshot/tree walks
+// tree internals that update batches mutate, so both take this lock. The
+// lock is uncontended on the hot path.
+type lockedBackend struct {
+	mu sync.Mutex
+	b  serve.Backend
+}
+
+func (l *lockedBackend) Dims() uint8 { return l.b.Dims() }
+func (l *lockedBackend) SearchBatch(pts []geom.Point) []bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.SearchBatch(pts)
+}
+func (l *lockedBackend) InsertBatch(pts []geom.Point) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.b.InsertBatch(pts)
+}
+func (l *lockedBackend) DeleteBatch(pts []geom.Point) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.b.DeleteBatch(pts)
+}
+func (l *lockedBackend) KNNBatch(pts []geom.Point, k int) [][]core.Neighbor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.KNNBatch(pts, k)
+}
+func (l *lockedBackend) BoxCountBatch(boxes []geom.Box) []int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.BoxCountBatch(boxes)
+}
+func (l *lockedBackend) Epoch() uint64 { return l.b.Epoch() }
+
+// builtIndex is one constructed tree plus its admin hooks.
+type builtIndex struct {
+	backend     serve.Backend
 	stats       func() any
 	moduleLoads func() (cycles, bytes []int64) // nil for baselines
 }
 
-func newEngine(kind string, dims uint8, p int, tuning core.Tuning, rec *obs.Recorder, warm []geom.Point) engine {
+func buildIndex(kind string, dims uint8, p int, tuning core.Tuning, rec *obs.Recorder, warm []geom.Point) builtIndex {
 	switch kind {
 	case "pim":
 		machine := costmodel.UPMEMServer()
@@ -74,37 +152,44 @@ func newEngine(kind string, dims uint8, p int, tuning core.Tuning, rec *obs.Reco
 			Dims: dims, Machine: machine, Tuning: tuning,
 			Obs: rec, LoadStats: true,
 		}, warm)
-		return engine{
-			name:        "pim",
-			search:      func(pts []geom.Point) { t.Search(pts) },
-			insert:      func(pts []geom.Point) { t.Insert(pts) },
-			remove:      func(pts []geom.Point) { t.Delete(pts) },
-			knn:         func(pts []geom.Point, k int) { t.KNN(pts, k) },
-			box:         func(boxes []geom.Box) { t.BoxCount(boxes) },
+		return builtIndex{
+			backend:     serve.NewTreeBackend(t),
 			stats:       func() any { return t.Stats() },
 			moduleLoads: t.System().ModuleLoads,
 		}
 	case "zd":
 		t := zdtree.New(zdtree.Config{Dims: dims, Obs: rec}, warm)
-		return engine{
-			name:   "zd",
-			search: func(pts []geom.Point) { batchContains(pts, t.Contains) },
-			insert: func(pts []geom.Point) { t.Insert(pts) },
-			remove: func(pts []geom.Point) { t.Delete(pts) },
-			knn:    func(pts []geom.Point, k int) { t.KNNBatch(pts, k, geom.L2) },
-			box:    func(boxes []geom.Box) { t.BoxCountBatch(boxes) },
-			stats:  func() any { return t.Stats() },
+		return builtIndex{
+			backend: &baselineBackend{
+				dims:   dims,
+				search: t.Contains,
+				insert: t.Insert,
+				remove: t.Delete,
+				knn: func(pts []geom.Point, k int) [][]core.Neighbor {
+					return convertNeighbors(len(pts), func(i int) []core.Neighbor {
+						return zdNeighbors(t.KNN(pts[i], k, geom.L2))
+					})
+				},
+				box: func(boxes []geom.Box) []int64 { return toInt64(t.BoxCountBatch(boxes)) },
+			},
+			stats: func() any { return t.Stats() },
 		}
 	case "pkd":
 		t := pkdtree.New(pkdtree.Config{Dims: dims, Obs: rec}, warm)
-		return engine{
-			name:   "pkd",
-			search: func(pts []geom.Point) { batchContains(pts, t.Contains) },
-			insert: func(pts []geom.Point) { t.Insert(pts) },
-			remove: func(pts []geom.Point) { t.Delete(pts) },
-			knn:    func(pts []geom.Point, k int) { t.KNNBatch(pts, k, geom.L2) },
-			box:    func(boxes []geom.Box) { t.BoxCountBatch(boxes) },
-			stats:  func() any { return t.Stats() },
+		return builtIndex{
+			backend: &baselineBackend{
+				dims:   dims,
+				search: t.Contains,
+				insert: t.Insert,
+				remove: t.Delete,
+				knn: func(pts []geom.Point, k int) [][]core.Neighbor {
+					return convertNeighbors(len(pts), func(i int) []core.Neighbor {
+						return pkdNeighbors(t.KNN(pts[i], k, geom.L2))
+					})
+				},
+				box: func(boxes []geom.Box) []int64 { return toInt64(t.BoxCountBatch(boxes)) },
+			},
+			stats: func() any { return t.Stats() },
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q (pim, zd, pkd)\n", kind)
@@ -113,10 +198,36 @@ func newEngine(kind string, dims uint8, p int, tuning core.Tuning, rec *obs.Reco
 	}
 }
 
-func batchContains(pts []geom.Point, contains func(geom.Point) bool) {
-	for _, p := range pts {
-		contains(p)
+func convertNeighbors(n int, per func(i int) []core.Neighbor) [][]core.Neighbor {
+	out := make([][]core.Neighbor, n)
+	for i := range out {
+		out[i] = per(i)
 	}
+	return out
+}
+
+func zdNeighbors(in []zdtree.Neighbor) []core.Neighbor {
+	out := make([]core.Neighbor, len(in))
+	for i, nb := range in {
+		out[i] = core.Neighbor{Point: nb.Point, Dist: nb.Dist}
+	}
+	return out
+}
+
+func pkdNeighbors(in []pkdtree.Neighbor) []core.Neighbor {
+	out := make([]core.Neighbor, len(in))
+	for i, nb := range in {
+		out[i] = core.Neighbor{Point: nb.Point, Dist: nb.Dist}
+	}
+	return out
+}
+
+func toInt64(in []int) []int64 {
+	out := make([]int64, len(in))
+	for i, v := range in {
+		out[i] = int64(v)
+	}
+	return out
 }
 
 func writeFlightDump(fr *obs.FlightRecorder, path string) error {
@@ -133,29 +244,36 @@ func writeFlightDump(fr *obs.FlightRecorder, path string) error {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8585", "admin HTTP address (host:0 for an ephemeral port)")
-		portFile = flag.String("port-file", "", "write the bound admin address to this file once listening")
-		engName  = flag.String("engine", "pim", "tree engine: pim, zd, pkd")
-		dataset  = flag.String("dataset", "uniform", "workload: uniform, cosmos, osm")
-		n        = flag.Int("n", 200_000, "warmup points")
-		batch    = flag.Int("batch", 5_000, "operations per workload batch")
-		modules  = flag.Int("p", 512, "PIM modules (pim engine)")
-		dims     = flag.Int("dims", 3, "point dimensionality (2-4)")
-		seed     = flag.Int64("seed", 42, "workload seed")
-		tuning   = flag.String("tuning", "throughput", "tuning: throughput or skew (pim engine)")
-		k        = flag.Int("k", 8, "k for knn batches")
-		sample   = flag.Int("sample", 32, "snapshot module loads every N rounds (0 = off)")
-		opsMix   = flag.String("ops", "search,insert,knn,box,delete", "comma-separated batch mix, cycled in order")
-		iters    = flag.Int("iters", 0, "stop the workload after this many batches (0 = no limit)")
-		duration = flag.Duration("duration", 0, "exit after this long (0 = run until killed)")
-		pause    = flag.Duration("pause", 0, "sleep between batches")
+		addr        = flag.String("addr", "127.0.0.1:8585", "admin+client HTTP address (host:0 for an ephemeral port)")
+		portFile    = flag.String("port-file", "", "write the bound admin address to this file once listening")
+		tcpAddr     = flag.String("tcp", "", "binary wire-protocol TCP listener address (empty = disabled)")
+		tcpPortFile = flag.String("tcp-port-file", "", "write the bound TCP address to this file once listening")
+		engName     = flag.String("engine", "pim", "tree engine: pim, zd, pkd")
+		dataset     = flag.String("dataset", "uniform", "workload: uniform, cosmos, osm")
+		n           = flag.Int("n", 200_000, "warmup points")
+		batch       = flag.Int("batch", 5_000, "operations per synthetic workload batch")
+		modules     = flag.Int("p", 512, "PIM modules (pim engine)")
+		dims        = flag.Int("dims", 3, "point dimensionality (2-4)")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		tuning      = flag.String("tuning", "throughput", "tuning: throughput or skew (pim engine)")
+		k           = flag.Int("k", 8, "k for knn batches")
+		sample      = flag.Int("sample", 32, "snapshot module loads every N rounds (0 = off)")
+		opsMix      = flag.String("ops", "search,insert,knn,box,delete", "comma-separated synthetic batch mix, cycled in order (empty = serve clients only)")
+		iters       = flag.Int("iters", 0, "stop the synthetic workload after this many batches (0 = no limit)")
+		duration    = flag.Duration("duration", 0, "exit after this long (0 = run until killed)")
+		pause       = flag.Duration("pause", 0, "sleep between synthetic batches")
+
+		mode     = flag.String("mode", "pipeline", "serving scheduler: pipeline (epoch coalescing) or fifo (per-request baseline)")
+		shards   = flag.Int("shards", 0, "intake queue shards (0 = GOMAXPROCS)")
+		queueOps = flag.Int64("queue", 0, "admission control: max queued point-ops (0 = default)")
+		maxBatch = flag.Int("max-batch", 0, "max point-ops per coalesced tree batch (0 = default)")
 
 		flightRing   = flag.Int("flight", 256, "flight-recorder ring capacity in ops (0 disables per-op tracing)")
 		slowMs       = flag.Float64("slow-ms", 0, "capture ops whose wall time reaches this many milliseconds (0 = top-K by latency)")
 		slowModeled  = flag.Float64("slow-modeled-us", 0, "capture ops whose modeled time reaches this many microseconds")
 		slowK        = flag.Int("slow-k", 16, "retained slow-op records")
 		flightOut    = flag.String("flight-out", "", "write the final flight-recorder dump (JSON) to this file on exit")
-		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful admin-server drain deadline on shutdown")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful drain deadline on shutdown (engine, TCP, admin each)")
 	)
 	flag.Parse()
 
@@ -180,6 +298,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
+	var schedMode serve.Mode
+	switch *mode {
+	case "pipeline":
+		schedMode = serve.ModePipeline
+	case "fifo":
+		schedMode = serve.ModeFIFO
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (pipeline, fifo)\n", *mode)
+		os.Exit(2)
+	}
 
 	// Live metrics plumbing: a retention-free recorder streams every
 	// event into the registry and stores nothing, so the server can run
@@ -199,37 +327,50 @@ func main() {
 		})
 		rec.SetFlight(fr)
 	}
+	// The high-range wall bucket ladder keeps saturated-queue latencies
+	// (seconds to minutes) resolvable instead of collapsing into +Inf.
 	wallSeconds := reg.NewHistogramVec(metrics.HistogramOpts{Opts: metrics.Opts{
 		Name: "pimzd_batch_wall_seconds",
-		Help: "Wall-clock time per workload batch (real time, not modeled).",
-		Wall: true, Label: "op"}})
+		Help: "Wall-clock time per synthetic workload batch (real time, not modeled).",
+		Wall: true, Label: "op"}, Buckets: metrics.WallSecondsBuckets()})
 	uptime := reg.NewGauge(metrics.Opts{Name: "pimzd_uptime_seconds",
 		Help: "Wall-clock seconds since the server started.", Wall: true})
 
-	// engMu serializes workload batches with /snapshot/tree: the stats
-	// walks iterate tree maps/nodes that batch updates mutate, so an
-	// unguarded scrape mid-batch is a fatal concurrent map access.
-	// Stats() returns value snapshots, so JSON marshaling (and the HTTP
-	// write) happens after the lock is released. ModuleLoads needs no
-	// guard — pim.System.ModuleLoads copies under System.mu.
-	var engMu sync.Mutex
+	// Build the index, then put the serving engine in front of it: from
+	// here on the engine's executor goroutine is the only tree caller.
+	pool := ds.Generate(*seed, *n+8**batch, uint8(*dims))
+	warm := pool[:*n]
+	stream := pool[*n:]
+	idx := buildIndex(*engName, uint8(*dims), *modules, tun, rec, warm)
+	locked := &lockedBackend{b: idx.backend}
+	eng := serve.New(serve.Config{
+		Backend:      locked,
+		Mode:         schedMode,
+		Shards:       *shards,
+		MaxQueuedOps: *queueOps,
+		MaxBatch:     *maxBatch,
+		MaxK:         max(128, *k),
+		Registry:     reg,
+		Flight:       fr,
+	})
 	var ready atomic.Bool
-	var eng engine
+	ready.Store(true)
+
 	srv, err := metrics.StartAdmin(*addr, metrics.AdminConfig{
 		Registry: reg,
 		TreeStats: func() any {
 			if !ready.Load() {
 				return struct{}{}
 			}
-			engMu.Lock()
-			defer engMu.Unlock()
-			return eng.stats()
+			locked.mu.Lock()
+			defer locked.mu.Unlock()
+			return idx.stats()
 		},
 		ModuleLoads: func() (cycles, bytes []int64) {
-			if !ready.Load() || eng.moduleLoads == nil {
+			if idx.moduleLoads == nil {
 				return nil, nil
 			}
-			return eng.moduleLoads()
+			return idx.moduleLoads()
 		},
 		Flight: fr,
 		Health: func() error {
@@ -238,29 +379,36 @@ func main() {
 			}
 			return nil
 		},
+		Extra: map[string]http.Handler{"/v1/": serve.NewHTTPHandler(eng)},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pimzd-serve: %v\n", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Printf("pimzd-serve: admin on http://%s (engine=%s dataset=%s n=%d batch=%d)\n",
-		srv.Addr(), *engName, *dataset, *n, *batch)
+	fmt.Printf("pimzd-serve: admin+api on http://%s (engine=%s mode=%s dataset=%s n=%d batch=%d)\n",
+		srv.Addr(), *engName, schedMode, *dataset, *n, *batch)
 	if *portFile != "" {
 		if err := os.WriteFile(*portFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "pimzd-serve: port-file: %v\n", err)
 			os.Exit(1)
 		}
 	}
-
-	// Point pool: warmup prefix plus a rolling insert stream. Inserted
-	// chunks queue up and are deleted in FIFO order, keeping the live tree
-	// size within one stream of the warmup size.
-	pool := ds.Generate(*seed, *n+8**batch, uint8(*dims))
-	warm := pool[:*n]
-	stream := pool[*n:]
-	eng = newEngine(*engName, uint8(*dims), *modules, tun, rec, warm)
-	ready.Store(true)
+	var tcpSrv *serve.TCPServer
+	if *tcpAddr != "" {
+		tcpSrv, err = serve.ServeTCP(*tcpAddr, eng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimzd-serve: tcp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pimzd-serve: wire protocol on tcp://%s\n", tcpSrv.Addr())
+		if *tcpPortFile != "" {
+			if err := os.WriteFile(*tcpPortFile, []byte(tcpSrv.Addr()+"\n"), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "pimzd-serve: tcp-port-file: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	boxes := workload.QueryBoxes(*seed+1, warm, max(*batch/16, 1), 64)
 	rng := rand.New(rand.NewSource(*seed + 2))
@@ -277,7 +425,13 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	// The synthetic workload is a client of the engine like any other:
+	// its batches queue, coalesce with concurrent /v1 and TCP traffic,
+	// and observe the same epoch semantics.
 	mix := strings.Split(*opsMix, ",")
+	if *opsMix == "" {
+		mix = nil
+	}
 	var pending [][]geom.Point // inserted, not yet deleted
 	streamOff := 0
 	start := time.Now()
@@ -285,7 +439,7 @@ func main() {
 	if *duration > 0 {
 		deadline = start.Add(*duration)
 	}
-	for i := 0; *iters == 0 || i < *iters; i++ {
+	for i := 0; len(mix) > 0 && (*iters == 0 || i < *iters); i++ {
 		if ctx.Err() != nil {
 			break
 		}
@@ -293,40 +447,49 @@ func main() {
 			break
 		}
 		op := strings.TrimSpace(mix[i%len(mix)])
-		traceBefore := fr.LastTrace()
-		t0 := time.Now()
-		engMu.Lock()
+		var req *serve.Request
 		switch op {
 		case "search":
-			eng.search(queries())
+			req = serve.NewRequest(serve.OpSearch)
+			req.Pts = queries()
 		case "insert":
 			if streamOff+*batch > len(stream) {
 				streamOff = 0
 			}
 			chunk := stream[streamOff : streamOff+*batch]
 			streamOff += *batch
-			eng.insert(chunk)
+			req = serve.NewRequest(serve.OpInsert)
+			req.Pts = chunk
 			pending = append(pending, chunk)
 		case "delete":
-			if len(pending) > 0 {
-				eng.remove(pending[0])
-				pending = pending[1:]
+			if len(pending) == 0 {
+				continue
 			}
+			req = serve.NewRequest(serve.OpDelete)
+			req.Pts = pending[0]
+			pending = pending[1:]
 		case "knn":
-			eng.knn(queries()[:max(*batch/8, 1)], *k)
+			req = serve.NewRequest(serve.OpKNN)
+			req.Pts = queries()[:max(*batch/8, 1)]
+			req.K = *k
 		case "box":
-			eng.box(boxes)
+			req = serve.NewRequest(serve.OpBox)
+			req.Boxes = boxes
 		default:
 			fmt.Fprintf(os.Stderr, "unknown op %q in -ops\n", op)
 			os.Exit(2)
 		}
-		engMu.Unlock()
+		t0 := time.Now()
+		if err := eng.Do(ctx, req); err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "pimzd-serve: workload %s: %v\n", op, err)
+			continue
+		}
 		wall := time.Since(t0).Seconds()
-		// Exemplar the wall histogram with the batch's trace ID when the
-		// flight recorder assigned one (ops that ran no batch — an empty
-		// delete — advance no trace and get a plain observation).
-		if trace := fr.LastTrace(); trace != traceBefore {
-			wallSeconds.With(op).ObserveExemplar(wall, strconv.FormatUint(trace, 10))
+		if req.Resp.Trace != 0 {
+			wallSeconds.With(op).ObserveExemplar(wall, strconv.FormatUint(req.Resp.Trace, 10))
 		} else {
 			wallSeconds.With(op).Observe(wall)
 		}
@@ -340,7 +503,7 @@ func main() {
 	}
 
 	// Workload done (bounded -iters); keep serving until -duration elapses,
-	// a signal arrives, or forever, so scrapers can still read final state.
+	// a signal arrives, or forever, so clients and scrapers keep working.
 	switch {
 	case ctx.Err() != nil:
 		// signaled during the workload: fall through to shutdown
@@ -349,12 +512,26 @@ func main() {
 		case <-ctx.Done():
 		case <-time.After(time.Until(deadline)):
 		}
-	case *iters > 0:
+	default:
 		<-ctx.Done() // serve until signaled
 	}
 
-	// Graceful shutdown: flush the final flight dump, then drain the admin
-	// server so in-flight scrapes finish.
+	// Graceful shutdown, client-facing first: close intake and drain
+	// admitted requests (past the deadline they resolve as 503 instead of
+	// hanging), then drain client connections, then flush the flight dump
+	// and drain the admin server.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := eng.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "pimzd-serve: engine drain: %v (pending requests failed with 503)\n", err)
+	}
+	cancelDrain()
+	if tcpSrv != nil {
+		tcpCtx, cancelTCP := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := tcpSrv.Shutdown(tcpCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "pimzd-serve: tcp drain: %v\n", err)
+		}
+		cancelTCP()
+	}
 	if *flightOut != "" && fr.Enabled() {
 		if err := writeFlightDump(fr, *flightOut); err != nil {
 			fmt.Fprintf(os.Stderr, "pimzd-serve: flight-out: %v\n", err)

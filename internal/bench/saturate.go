@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/serve"
+	"pimzdtree/internal/stats"
+	"pimzdtree/internal/workload"
+)
+
+// Serving-engine saturation sweep: the same open-loop Poisson load is
+// offered to a FIFO engine (one request per tree batch, the conventional
+// request-at-a-time server) and to the epoch pipeline (coalesced batches,
+// reads against the published snapshot). Each step reports achieved
+// throughput, shed rate, and end-to-end latency quantiles; the headline
+// is the ratio of the two modes' maximum sustained load.
+//
+// Unlike the figure panels this measures wall clock, not modeled PIM
+// time, so it is deliberately NOT part of `-experiment all` and has no
+// byte-stable golden CSV. Its capacity numbers land in the BENCH_<n>.json
+// trajectory as the "fifo" and "pipeline" phases of the saturate panel.
+
+// SaturateRow is one (mode, offered-load) step of the sweep.
+type SaturateRow struct {
+	Mode        string
+	OfferedRPS  float64
+	AchievedRPS float64
+	Completed   int
+	Shed        int
+	Errors      int
+	P50         float64 // seconds
+	P99         float64
+	P999        float64
+	Sustained   bool
+}
+
+// saturateSteps is the offered-load sweep in requests/second. The top
+// step is set well past what request-at-a-time execution can absorb so
+// the FIFO curve visibly collapses while the pipeline keeps climbing.
+var saturateSteps = []float64{500, 1000, 2000, 4000, 8000, 16000, 32000}
+
+const saturateStepDuration = 400 * time.Millisecond
+
+// Saturate sweeps both serving modes over identical fresh trees.
+func Saturate(p Params) []SaturateRow {
+	p.fill()
+	var rows []SaturateRow
+	for _, mode := range []serve.Mode{serve.ModeFIFO, serve.ModePipeline} {
+		data := workload.Uniform(p.Seed, p.WarmupN, p.Dims)
+		r := newPIMRunner(p, core.ThroughputOptimized, data, nil)
+		boxes := workload.QueryBoxes(p.Seed+1, data, 256, 64)
+		eng := serve.New(serve.Config{Backend: serve.NewTreeBackend(r.tree), Mode: mode})
+		rep := serve.RunSaturation(serve.SaturationConfig{
+			Engine:       eng,
+			Seed:         p.Seed,
+			Data:         data,
+			Boxes:        boxes,
+			Offered:      saturateSteps,
+			StepDuration: saturateStepDuration,
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		eng.Shutdown(ctx)
+		cancel()
+
+		// The trajectory phase is the busiest sustained step, so the phase
+		// MOp/s tracks serving capacity (requests completed per second at
+		// the highest load the mode absorbed).
+		best := -1
+		for i, pt := range rep.Points {
+			if pt.Sustained() && (best < 0 || pt.Completed > rep.Points[best].Completed) {
+				best = i
+			}
+		}
+		if best < 0 { // nothing sustained: fall back to the busiest step
+			for i, pt := range rep.Points {
+				if best < 0 || pt.Completed > rep.Points[best].Completed {
+					best = i
+				}
+			}
+		}
+		if best >= 0 && rep.Points[best].Completed > 0 {
+			RecordPhase(mode.String(), saturateStepDuration.Seconds(), rep.Points[best].Completed)
+		}
+		for _, pt := range rep.Points {
+			countOps(pt.Completed)
+			rows = append(rows, SaturateRow{
+				Mode:        rep.Mode,
+				OfferedRPS:  pt.OfferedRPS,
+				AchievedRPS: pt.AchievedRPS,
+				Completed:   pt.Completed,
+				Shed:        pt.Shed,
+				Errors:      pt.Errors,
+				P50:         pt.P50,
+				P99:         pt.P99,
+				P999:        pt.P999,
+				Sustained:   pt.Sustained(),
+			})
+		}
+	}
+	return rows
+}
+
+// maxSustained returns the highest sustained achieved rate per mode.
+func maxSustained(rows []SaturateRow) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range rows {
+		if r.Sustained && r.AchievedRPS > out[r.Mode] {
+			out[r.Mode] = r.AchievedRPS
+		}
+	}
+	return out
+}
+
+// RenderSaturate prints the sweep with the pipeline/FIFO capacity ratio.
+func RenderSaturate(w io.Writer, rows []SaturateRow) {
+	fmt.Fprintln(w, "Saturation: open-loop Poisson sweep, FIFO vs epoch pipeline")
+	tb := stats.NewTable("mode", "offered r/s", "achieved r/s", "shed", "err", "p50 ms", "p99 ms", "p999 ms", "sustained")
+	for _, r := range rows {
+		sus := ""
+		if r.Sustained {
+			sus = "yes"
+		}
+		tb.AddRow(r.Mode, fmt.Sprintf("%.0f", r.OfferedRPS), fmt.Sprintf("%.0f", r.AchievedRPS),
+			r.Shed, r.Errors,
+			fmt.Sprintf("%.3f", r.P50*1e3), fmt.Sprintf("%.3f", r.P99*1e3), fmt.Sprintf("%.3f", r.P999*1e3), sus)
+	}
+	fmt.Fprint(w, tb)
+	ms := maxSustained(rows)
+	fmt.Fprintf(w, "max sustained: fifo %.0f r/s, pipeline %.0f r/s", ms["fifo"], ms["pipeline"])
+	if ms["fifo"] > 0 {
+		fmt.Fprintf(w, " (%.1fx)", ms["pipeline"]/ms["fifo"])
+	}
+	fmt.Fprintln(w)
+}
+
+// SaturateCSV emits the sweep.
+func SaturateCSV(w io.Writer, rows []SaturateRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		sus := "0"
+		if r.Sustained {
+			sus = "1"
+		}
+		out[i] = []string{r.Mode, f(r.OfferedRPS), f(r.AchievedRPS),
+			fmt.Sprint(r.Completed), fmt.Sprint(r.Shed), fmt.Sprint(r.Errors),
+			f(r.P50), f(r.P99), f(r.P999), sus}
+	}
+	return writeCSV(w, []string{"mode", "offered_rps", "achieved_rps", "completed",
+		"shed", "errors", "p50_seconds", "p99_seconds", "p999_seconds", "sustained"}, out)
+}

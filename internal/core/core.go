@@ -244,6 +244,11 @@ type Tree struct {
 	chunks map[uint64]*Chunk
 	nextID uint64
 
+	// pub is the atomically published (root, epoch) pair read by the
+	// serving engine's epoch fence (see epoch.go). Written only at update
+	// boundaries, read from any goroutine.
+	pub atomic.Pointer[published]
+
 	// Aggregate statistics.
 	counterSyncs   int64
 	promotions     int64
@@ -319,6 +324,7 @@ func New(cfg Config, points []geom.Point) *Tree {
 		rec.EndPhase()
 	}
 	t.relayout()
+	t.pub.Store(&published{root: t.root, epoch: 0})
 	rec.EndOp()
 	return t
 }

@@ -199,6 +199,7 @@ func (t *Tree) Insert(points []geom.Point) {
 	t.chargeUpdateRounds(st)
 	rec.EndPhase()
 	t.relayout()
+	t.publishEpoch()
 }
 
 // markNew flags a freshly built subtree as dirty at its root (the layout
@@ -527,6 +528,7 @@ func (t *Tree) Delete(points []geom.Point) {
 	t.chargeUpdateRounds(st)
 	rec.EndPhase()
 	t.relayout()
+	t.publishEpoch()
 }
 
 // deleteRec removes matching points below n, recompressing single-child
@@ -794,4 +796,5 @@ func (t *Tree) Rebuild() {
 	t.chunks = make(map[uint64]*Chunk)
 	t.bootstrapped = false
 	t.relayout()
+	t.publishEpoch()
 }

@@ -50,6 +50,11 @@ type AdminConfig struct {
 	Flight *obs.FlightRecorder
 	// Health returns nil when the server should report healthy.
 	Health func() error
+	// Extra mounts additional handlers on the admin mux, pattern ->
+	// handler (http.ServeMux patterns). The serving engine uses this to
+	// expose its client API (/v1/*) on the same listener without this
+	// package importing it.
+	Extra map[string]http.Handler
 }
 
 // ModuleSnapshot is the /snapshot/modules response.
@@ -142,6 +147,10 @@ func NewAdminHandler(cfg AdminConfig) http.Handler {
 		}
 		writeJSON(w, cfg.Flight.SlowOps())
 	})
+
+	for pattern, h := range cfg.Extra {
+		mux.Handle(pattern, h)
+	}
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -445,6 +445,23 @@ func SecondsBuckets() []float64 {
 	return ldexpBuckets(-30, 8)
 }
 
+// WallSecondsBuckets returns the wall-clock latency layout for serving
+// histograms: powers of two from 2^-24 s (~60 ns) through 2^10 s
+// (1024 s), 35 bounds. Compared to SecondsBuckets it is both finer
+// (factor-2 instead of factor-4 resolution, so a p999 estimate under
+// saturation lands in a narrow bucket instead of smearing across a 4x
+// span) and higher-range (queueing delay under overload can push tails
+// past SecondsBuckets' top bound, which would collapse the estimate into
+// +Inf). Wall-marked families only — the modeled exposition CI
+// golden-tests keeps the SecondsBuckets layout.
+func WallSecondsBuckets() []float64 {
+	var out []float64
+	for e := -24; e <= 10; e++ {
+		out = append(out, math.Ldexp(1, e))
+	}
+	return out
+}
+
 // CountBuckets returns the standard magnitude layout for dimensionless
 // quantities (rounds, cycles, bytes, modules): powers of four from 1
 // through 4^12 (~16.8M), 13 bounds.

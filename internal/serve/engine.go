@@ -1,0 +1,646 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/geom"
+	"pimzdtree/internal/metrics"
+	"pimzdtree/internal/obs"
+)
+
+// Mode selects the engine's scheduling policy.
+type Mode uint8
+
+const (
+	// ModePipeline is the epoch pipeline: coalesce whatever has queued
+	// into per-op-type native batches, fence reads against the published
+	// snapshot, overlap epoch building with epoch execution.
+	ModePipeline Mode = iota
+	// ModeFIFO is the pre-engine baseline for comparison: one request at
+	// a time, in strict arrival order, each as its own tree batch. Same
+	// queues, same responses — only batch formation differs, so a
+	// saturation sweep isolates the coalescing win.
+	ModeFIFO
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeFIFO {
+		return "fifo"
+	}
+	return "pipeline"
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Backend is the index being served (required).
+	Backend Backend
+	// Mode selects pipeline coalescing (default) or the FIFO baseline.
+	Mode Mode
+	// Shards is the intake shard count (0 = GOMAXPROCS; FIFO forces 1 so
+	// drain order is arrival order).
+	Shards int
+	// MaxQueuedOps bounds admitted-but-incomplete point-ops; beyond it
+	// submissions shed with ErrQueueFull (0 = 65536).
+	MaxQueuedOps int64
+	// MaxBatch caps the points/boxes per coalesced tree batch; larger
+	// epochs split into several native batches (0 = 8192).
+	MaxBatch int
+	// MaxK bounds OpKNN's k (0 = 128).
+	MaxK int
+	// Registry, when non-nil, receives the serving metrics families (all
+	// Wall-marked: request latency, queue depth, epoch occupancy, shed
+	// and epoch counters).
+	Registry *metrics.Registry
+	// Flight, when enabled, supplies per-batch trace IDs threaded into
+	// responses and request-latency exemplars.
+	Flight *obs.FlightRecorder
+}
+
+func (c *Config) fill() {
+	if c.Backend == nil {
+		panic("serve: Config.Backend is required")
+	}
+	if c.Mode == ModeFIFO {
+		c.Shards = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueuedOps <= 0 {
+		c.MaxQueuedOps = 1 << 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8192
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 128
+	}
+}
+
+// engineMetrics are the serving-layer families. All are Wall-marked:
+// their values depend on real arrival timing, so they must stay out of
+// the modeled-only exposition CI golden-tests.
+type engineMetrics struct {
+	requests *metrics.CounterVec   // pimzd_requests_total{op}
+	shed     *metrics.CounterVec   // pimzd_requests_shed_total{op}
+	reqSec   *metrics.HistogramVec // pimzd_request_seconds{op}
+	queueOps *metrics.Gauge        // pimzd_intake_queue_ops
+	epochSec *metrics.HistogramVec // pimzd_epoch_seconds{phase}
+	batchOps *metrics.HistogramVec // pimzd_coalesced_batch_ops{op}
+	epochs   *metrics.Counter      // pimzd_epochs_total
+}
+
+func newEngineMetrics(reg *metrics.Registry) engineMetrics {
+	return engineMetrics{
+		requests: reg.NewCounterVec(metrics.Opts{Name: "pimzd_requests_total",
+			Help: "Client requests completed, by operation.", Wall: true, Label: "op"}),
+		shed: reg.NewCounterVec(metrics.Opts{Name: "pimzd_requests_shed_total",
+			Help: "Client requests shed by admission control, by operation.", Wall: true, Label: "op"}),
+		reqSec: reg.NewHistogramVec(metrics.HistogramOpts{Opts: metrics.Opts{
+			Name: "pimzd_request_seconds",
+			Help: "End-to-end request latency (enqueue to response), wall clock.",
+			Wall: true, Label: "op"}, Buckets: metrics.WallSecondsBuckets()}),
+		queueOps: reg.NewGauge(metrics.Opts{Name: "pimzd_intake_queue_ops",
+			Help: "Admitted-but-incomplete point-ops (admission-control depth).", Wall: true}),
+		epochSec: reg.NewHistogramVec(metrics.HistogramOpts{Opts: metrics.Opts{
+			Name: "pimzd_epoch_seconds",
+			Help: "Wall-clock occupancy of epoch phases (read, update).",
+			Wall: true, Label: "phase"}, Buckets: metrics.WallSecondsBuckets()}),
+		batchOps: reg.NewHistogramVec(metrics.HistogramOpts{Opts: metrics.Opts{
+			Name: "pimzd_coalesced_batch_ops",
+			Help: "Point-ops per coalesced native tree batch, by operation.",
+			Wall: true, Label: "op"}, Buckets: metrics.CountBuckets()}),
+		epochs: reg.NewCounter(metrics.Opts{Name: "pimzd_epochs_total",
+			Help: "Executed engine epochs.", Wall: true}),
+	}
+}
+
+// epochPlan is one coalesced unit of work: every request drained in one
+// builder pass, in drain order.
+type epochPlan struct {
+	all []*Request
+}
+
+// Engine is the concurrent serving engine. Construct with New; stop with
+// Shutdown.
+type Engine struct {
+	cfg Config
+	in  *intake
+	m   engineMetrics
+
+	planCh      chan *epochPlan
+	builderDone chan struct{}
+	execDone    chan struct{}
+
+	closed  atomic.Bool
+	aborted atomic.Bool
+
+	fenceViolations atomic.Int64
+	epochsRun       atomic.Int64
+
+	// executor scratch (executor goroutine only)
+	ptsArena   []geom.Point
+	boxArena   []geom.Box
+	foundArena []bool
+}
+
+// New starts an engine (builder + executor goroutines) over cfg.Backend.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	e := &Engine{
+		cfg:         cfg,
+		in:          newIntake(cfg.Shards, cfg.MaxQueuedOps),
+		m:           newEngineMetrics(cfg.Registry),
+		planCh:      make(chan *epochPlan, 1),
+		builderDone: make(chan struct{}),
+		execDone:    make(chan struct{}),
+	}
+	go e.builder()
+	go e.executor()
+	return e
+}
+
+// Submit enqueues r for a future epoch; the caller waits on r.Done().
+// Errors (validation, shed, shutdown) mean r was NOT enqueued and Done
+// will never close.
+func (e *Engine) Submit(r *Request) error {
+	if r.done == nil {
+		r.done = make(chan struct{})
+	}
+	r.enq = time.Now()
+	if e.closed.Load() {
+		e.m.shed.With(r.Op.String()).Add(1)
+		return ErrShuttingDown
+	}
+	if err := e.validate(r); err != nil {
+		return err
+	}
+	if err := e.in.push(r); err != nil {
+		e.m.shed.With(r.Op.String()).Add(1)
+		return err
+	}
+	e.m.queueOps.Set(float64(e.in.queuedOps()))
+	return nil
+}
+
+// Do submits r and waits for completion or ctx expiry. On submit failure
+// or ctx expiry the returned error is also stored in r.Resp.Err.
+func (e *Engine) Do(ctx context.Context, r *Request) error {
+	if err := e.Submit(r); err != nil {
+		r.Resp.Err = err
+		return err
+	}
+	select {
+	case <-r.Done():
+		return r.Resp.Err
+	case <-ctx.Done():
+		// The engine still owns r and will complete it; the caller just
+		// stops waiting.
+		return ctx.Err()
+	}
+}
+
+// Barrier submits a fence request and waits until every request admitted
+// before it has completed — a deterministic epoch cut for tests and
+// drains.
+func (e *Engine) Barrier(ctx context.Context) error {
+	return e.Do(ctx, NewRequest(opBarrier))
+}
+
+// Shutdown stops intake (subsequent Submits fail with ErrShuttingDown),
+// drains everything already admitted, and returns once the executor has
+// exited. If ctx expires first, still-pending requests complete
+// immediately with ErrDrainDeadline (the HTTP/TCP layers surface that as
+// 503) and Shutdown returns ctx.Err().
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.closed.Store(true)
+	e.in.wake()
+	select {
+	case <-e.execDone:
+		return nil
+	case <-ctx.Done():
+		e.aborted.Store(true)
+		e.in.wake()
+		<-e.execDone
+		return ctx.Err()
+	}
+}
+
+// Stats is a point-in-time engine snapshot (served by /v1/status).
+type Stats struct {
+	Mode            string `json:"mode"`
+	Epoch           uint64 `json:"epoch"`
+	EpochsRun       int64  `json:"epochs_run"`
+	QueuedOps       int64  `json:"queued_ops"`
+	FenceViolations int64  `json:"fence_violations"`
+	ShuttingDown    bool   `json:"shutting_down"`
+}
+
+// Stats returns a snapshot of the engine's state.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Mode:            e.cfg.Mode.String(),
+		Epoch:           e.cfg.Backend.Epoch(),
+		EpochsRun:       e.epochsRun.Load(),
+		QueuedOps:       e.in.queuedOps(),
+		FenceViolations: e.fenceViolations.Load(),
+		ShuttingDown:    e.closed.Load(),
+	}
+}
+
+// FenceViolations returns how many read phases observed an epoch change
+// mid-phase. Always zero unless the backend is driven outside the engine.
+func (e *Engine) FenceViolations() int64 { return e.fenceViolations.Load() }
+
+// Backend returns the served backend (for status surfaces).
+func (e *Engine) Backend() Backend { return e.cfg.Backend }
+
+// builder drains the intake into epoch plans. planCh has capacity 1, so
+// while the executor runs epoch E one built plan (E+1) waits and further
+// arrivals accumulate in the shards — a two-stage pipeline whose batch
+// size adapts to load: idle engines cut tiny low-latency epochs, loaded
+// engines coalesce everything that queued behind the current epoch.
+func (e *Engine) builder() {
+	defer close(e.builderDone)
+	defer close(e.planCh)
+	var buf []*Request
+	for {
+		buf = e.in.drain(buf[:0])
+		if len(buf) == 0 {
+			if e.closed.Load() {
+				// closed is set before the shutdown wake: one more empty
+				// drain after seeing it means nothing is left to admit.
+				if buf = e.in.drain(buf[:0]); len(buf) == 0 {
+					return
+				}
+			} else {
+				<-e.in.notify
+				continue
+			}
+		}
+		e.planCh <- &epochPlan{all: append([]*Request(nil), buf...)}
+	}
+}
+
+// executor runs epoch plans one at a time against the backend.
+func (e *Engine) executor() {
+	defer close(e.execDone)
+	for plan := range e.planCh {
+		e.execute(plan)
+	}
+}
+
+// execute runs one epoch: read phase against the published snapshot
+// (epoch-fenced), then the update phase, then barrier completion.
+func (e *Engine) execute(p *epochPlan) {
+	if e.aborted.Load() {
+		e.failAll(p.all)
+		return
+	}
+	if e.cfg.Mode == ModeFIFO {
+		e.executeFIFO(p)
+		return
+	}
+	var searches, knns, boxes, inserts, deletes, barriers []*Request
+	for _, r := range p.all {
+		switch r.Op {
+		case OpSearch:
+			searches = append(searches, r)
+		case OpKNN:
+			knns = append(knns, r)
+		case OpBox:
+			boxes = append(boxes, r)
+		case OpInsert:
+			inserts = append(inserts, r)
+		case OpDelete:
+			deletes = append(deletes, r)
+		case opBarrier:
+			barriers = append(barriers, r)
+		}
+	}
+
+	// Read phase: every read batch of this epoch sees the same published
+	// root. The fence proves it — the backend is engine-owned, so the
+	// epoch cannot move under a read phase unless something outside the
+	// engine drives the tree (a bug this counter surfaces).
+	readStart := time.Now()
+	readEpoch := e.cfg.Backend.Epoch()
+	e.runSearches(searches, readEpoch)
+	e.runKNNs(knns, readEpoch)
+	e.runBoxes(boxes, readEpoch)
+	if got := e.cfg.Backend.Epoch(); got != readEpoch {
+		e.fenceViolations.Add(1)
+	}
+	if len(searches)+len(knns)+len(boxes) > 0 {
+		e.m.epochSec.With("read").Observe(time.Since(readStart).Seconds())
+	}
+
+	// Update phase: inserts apply before deletes; both publish epochs
+	// that the next plan's read phase will observe.
+	updStart := time.Now()
+	e.runUpdates(inserts, OpInsert)
+	e.runUpdates(deletes, OpDelete)
+	if len(inserts)+len(deletes) > 0 {
+		e.m.epochSec.With("update").Observe(time.Since(updStart).Seconds())
+	}
+
+	for _, b := range barriers {
+		b.Resp.Epoch = e.cfg.Backend.Epoch()
+		e.finish(b)
+	}
+	e.epochsRun.Add(1)
+	e.m.epochs.Add(1)
+}
+
+// executeFIFO runs every request of the plan individually, in arrival
+// order (shards=1 in FIFO mode, so drain order is arrival order).
+func (e *Engine) executeFIFO(p *epochPlan) {
+	for _, r := range p.all {
+		if e.aborted.Load() {
+			r.fail(ErrDrainDeadline)
+			e.in.releaseOps(r.opCount())
+			continue
+		}
+		switch r.Op {
+		case OpSearch:
+			found := e.cfg.Backend.SearchBatch(r.Pts)
+			r.Resp.Found = found
+			r.Resp.Epoch = e.cfg.Backend.Epoch()
+		case OpKNN:
+			r.Resp.Neighbors = e.cfg.Backend.KNNBatch(r.Pts, r.K)
+			r.Resp.Epoch = e.cfg.Backend.Epoch()
+		case OpBox:
+			r.Resp.Counts = e.cfg.Backend.BoxCountBatch(r.Boxes)
+			r.Resp.Epoch = e.cfg.Backend.Epoch()
+		case OpInsert:
+			e.cfg.Backend.InsertBatch(r.Pts)
+			r.Resp.Applied = len(r.Pts)
+			r.Resp.Epoch = e.cfg.Backend.Epoch()
+		case OpDelete:
+			e.cfg.Backend.DeleteBatch(r.Pts)
+			r.Resp.Applied = len(r.Pts)
+			r.Resp.Epoch = e.cfg.Backend.Epoch()
+		case opBarrier:
+			r.Resp.Epoch = e.cfg.Backend.Epoch()
+		}
+		r.Resp.Trace = e.lastTrace()
+		e.m.batchOps.With(r.Op.String()).Observe(float64(r.opCount()))
+		e.finish(r)
+	}
+	e.epochsRun.Add(1)
+	e.m.epochs.Add(1)
+}
+
+// lastTrace returns the flight recorder's most recent trace ID (0 when
+// tracing is off).
+func (e *Engine) lastTrace() uint64 {
+	if !e.cfg.Flight.Enabled() {
+		return 0
+	}
+	return e.cfg.Flight.LastTrace()
+}
+
+// runSearches coalesces all search requests into MaxBatch-sized native
+// batches over a flat point arena and scatters membership bits back.
+func (e *Engine) runSearches(reqs []*Request, epoch uint64) {
+	if len(reqs) == 0 {
+		return
+	}
+	total := 0
+	for _, r := range reqs {
+		total += len(r.Pts)
+	}
+	if cap(e.ptsArena) < total {
+		e.ptsArena = make([]geom.Point, total)
+	}
+	if cap(e.foundArena) < total {
+		e.foundArena = make([]bool, total)
+	}
+	pts := e.ptsArena[:0]
+	for _, r := range reqs {
+		pts = append(pts, r.Pts...)
+	}
+	found := e.foundArena[:total]
+	traces, ok := e.runChunked("search", total, func(lo, hi int) {
+		copy(found[lo:hi], e.cfg.Backend.SearchBatch(pts[lo:hi]))
+	})
+	if !ok {
+		markAborted(reqs)
+	}
+	off := 0
+	for _, r := range reqs {
+		n := len(r.Pts)
+		if r.Resp.Err == nil {
+			r.Resp.Found = append([]bool(nil), found[off:off+n]...)
+			r.Resp.Epoch = epoch
+			r.Resp.Trace = traceAt(traces, off+n-1, e.cfg.MaxBatch)
+		}
+		off += n
+		e.finish(r)
+	}
+}
+
+// runKNNs groups kNN requests by k (ascending, deterministic), runs one
+// coalesced batch sequence per distinct k, and scatters neighbor lists.
+func (e *Engine) runKNNs(reqs []*Request, epoch uint64) {
+	if len(reqs) == 0 {
+		return
+	}
+	ks := make([]int, 0, 4)
+	byK := make(map[int][]*Request)
+	for _, r := range reqs {
+		if _, ok := byK[r.K]; !ok {
+			ks = append(ks, r.K)
+		}
+		byK[r.K] = append(byK[r.K], r)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		group := byK[k]
+		total := 0
+		for _, r := range group {
+			total += len(r.Pts)
+		}
+		if cap(e.ptsArena) < total {
+			e.ptsArena = make([]geom.Point, total)
+		}
+		pts := e.ptsArena[:0]
+		for _, r := range group {
+			pts = append(pts, r.Pts...)
+		}
+		neighbors := make([][]core.Neighbor, total)
+		traces, ok := e.runChunked("knn", total, func(lo, hi int) {
+			copy(neighbors[lo:hi], e.cfg.Backend.KNNBatch(pts[lo:hi], k))
+		})
+		if !ok {
+			markAborted(group)
+		}
+		off := 0
+		for _, r := range group {
+			n := len(r.Pts)
+			if r.Resp.Err == nil {
+				r.Resp.Neighbors = neighbors[off : off+n : off+n]
+				r.Resp.Epoch = epoch
+				r.Resp.Trace = traceAt(traces, off+n-1, e.cfg.MaxBatch)
+			}
+			off += n
+			e.finish(r)
+		}
+	}
+}
+
+// runBoxes coalesces box-count requests.
+func (e *Engine) runBoxes(reqs []*Request, epoch uint64) {
+	if len(reqs) == 0 {
+		return
+	}
+	total := 0
+	for _, r := range reqs {
+		total += len(r.Boxes)
+	}
+	if cap(e.boxArena) < total {
+		e.boxArena = make([]geom.Box, total)
+	}
+	boxes := e.boxArena[:0]
+	for _, r := range reqs {
+		boxes = append(boxes, r.Boxes...)
+	}
+	counts := make([]int64, total)
+	traces, ok := e.runChunked("box", total, func(lo, hi int) {
+		copy(counts[lo:hi], e.cfg.Backend.BoxCountBatch(boxes[lo:hi]))
+	})
+	if !ok {
+		markAborted(reqs)
+	}
+	off := 0
+	for _, r := range reqs {
+		n := len(r.Boxes)
+		if r.Resp.Err == nil {
+			r.Resp.Counts = counts[off : off+n : off+n]
+			r.Resp.Epoch = epoch
+			r.Resp.Trace = traceAt(traces, off+n-1, e.cfg.MaxBatch)
+		}
+		off += n
+		e.finish(r)
+	}
+}
+
+// runUpdates coalesces insert or delete requests (drain order preserved)
+// into MaxBatch-sized update batches; each batch publishes a new epoch.
+func (e *Engine) runUpdates(reqs []*Request, op Op) {
+	if len(reqs) == 0 {
+		return
+	}
+	total := 0
+	for _, r := range reqs {
+		total += len(r.Pts)
+	}
+	if cap(e.ptsArena) < total {
+		e.ptsArena = make([]geom.Point, total)
+	}
+	pts := e.ptsArena[:0]
+	for _, r := range reqs {
+		pts = append(pts, r.Pts...)
+	}
+	epochs := make([]uint64, 0, total/e.cfg.MaxBatch+1)
+	traces, ok := e.runChunked(op.String(), total, func(lo, hi int) {
+		if op == OpInsert {
+			e.cfg.Backend.InsertBatch(pts[lo:hi])
+		} else {
+			e.cfg.Backend.DeleteBatch(pts[lo:hi])
+		}
+		epochs = append(epochs, e.cfg.Backend.Epoch())
+	})
+	if !ok {
+		markAborted(reqs)
+	}
+	off := 0
+	for _, r := range reqs {
+		n := len(r.Pts)
+		if r.Resp.Err == nil {
+			r.Resp.Applied = n
+			r.Resp.Epoch = epochs[(off+n-1)/e.cfg.MaxBatch]
+			r.Resp.Trace = traceAt(traces, off+n-1, e.cfg.MaxBatch)
+		}
+		off += n
+		e.finish(r)
+	}
+}
+
+// markAborted flags a request group as killed by the drain deadline; the
+// scatter loops then skip result assignment and finish() completes them
+// with the error.
+func markAborted(reqs []*Request) {
+	for _, r := range reqs {
+		if r.Resp.Err == nil {
+			r.Resp.Err = ErrDrainDeadline
+		}
+	}
+}
+
+// runChunked executes fn over [0,total) in MaxBatch-sized chunks,
+// recording the flight-recorder trace ID after each chunk. A shutdown
+// abort mid-sequence stops before the next chunk and returns ok=false —
+// the caller then fails its whole request group with ErrDrainDeadline
+// (some chunks may have executed, but no request gets partial results).
+func (e *Engine) runChunked(op string, total int, fn func(lo, hi int)) (traces []uint64, ok bool) {
+	nChunks := (total + e.cfg.MaxBatch - 1) / e.cfg.MaxBatch
+	traces = make([]uint64, nChunks)
+	for c := 0; c < nChunks; c++ {
+		if e.aborted.Load() {
+			return traces, false
+		}
+		lo := c * e.cfg.MaxBatch
+		hi := min(lo+e.cfg.MaxBatch, total)
+		fn(lo, hi)
+		traces[c] = e.lastTrace()
+		e.m.batchOps.With(op).Observe(float64(hi - lo))
+	}
+	return traces, true
+}
+
+// traceAt returns the trace of the chunk containing flat index i.
+func traceAt(traces []uint64, i, maxBatch int) uint64 {
+	if len(traces) == 0 {
+		return 0
+	}
+	c := i / maxBatch
+	if c >= len(traces) {
+		c = len(traces) - 1
+	}
+	return traces[c]
+}
+
+// finish completes one request: latency histogram (exemplared with the
+// serving batch's trace ID when available), completion counters,
+// admission release.
+func (e *Engine) finish(r *Request) {
+	wall := time.Since(r.enq).Seconds()
+	op := r.Op.String()
+	e.m.requests.With(op).Add(1)
+	if h := e.m.reqSec.With(op); h != nil {
+		if r.Resp.Trace != 0 {
+			h.ObserveExemplar(wall, strconv.FormatUint(r.Resp.Trace, 10))
+		} else {
+			h.Observe(wall)
+		}
+	}
+	e.in.releaseOps(r.opCount())
+	e.m.queueOps.Set(float64(e.in.queuedOps()))
+	r.complete()
+}
+
+// failAll completes every request of a plan with ErrDrainDeadline.
+func (e *Engine) failAll(reqs []*Request) {
+	for _, r := range reqs {
+		r.Resp.Err = ErrDrainDeadline
+		e.finish(r)
+	}
+}

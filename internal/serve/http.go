@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/geom"
+)
+
+// HTTP/JSON client API. Mount NewHTTPHandler on any mux (the admin
+// server mounts it under /v1/ via metrics.AdminConfig.Extra):
+//
+//	POST /v1/search  {"points": [[x,y,z], ...]}
+//	POST /v1/insert  {"points": [[x,y,z], ...]}
+//	POST /v1/delete  {"points": [[x,y,z], ...]}
+//	POST /v1/knn     {"points": [[x,y,z], ...], "k": 8}
+//	POST /v1/box     {"boxes": [{"lo": [..], "hi": [..]}, ...]}
+//	GET  /v1/status
+//
+// Coordinates are uint32 (the tree's native key space). Every response
+// carries the observed epoch and, when the flight recorder is on, the
+// trace ID of the coalesced batch that served the request — grep it in
+// /snapshot/flightrecorder. Malformed input is 400; shed, shutdown, and
+// drain-deadline are 503 with Retry-After.
+
+// httpBox mirrors geom.Box in JSON.
+type httpBox struct {
+	Lo []uint32 `json:"lo"`
+	Hi []uint32 `json:"hi"`
+}
+
+// httpReq is the request body for every POST endpoint.
+type httpReq struct {
+	Points [][]uint32 `json:"points,omitempty"`
+	Boxes  []httpBox  `json:"boxes,omitempty"`
+	K      int        `json:"k,omitempty"`
+}
+
+// httpResp is the response body. Fields are op-specific; Epoch and Trace
+// are always present (trace omitted when tracing is off).
+type httpResp struct {
+	Found     []bool       `json:"found,omitempty"`
+	Applied   int          `json:"applied,omitempty"`
+	Neighbors [][]httpNbr  `json:"neighbors,omitempty"`
+	Counts    []int64      `json:"counts,omitempty"`
+	Epoch     uint64       `json:"epoch"`
+	Trace     uint64       `json:"trace,omitempty"`
+}
+
+// httpNbr is one kNN result point with its squared l2 distance.
+type httpNbr struct {
+	Point []uint32 `json:"point"`
+	Dist  uint64   `json:"dist"`
+}
+
+// maxHTTPBody bounds request bodies (16 MiB ≈ 1M 3-d points).
+const maxHTTPBody = 16 << 20
+
+// NewHTTPHandler serves the /v1/* client API backed by e.
+func NewHTTPHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) { serveOp(e, OpSearch, w, r) })
+	mux.HandleFunc("/v1/insert", func(w http.ResponseWriter, r *http.Request) { serveOp(e, OpInsert, w, r) })
+	mux.HandleFunc("/v1/delete", func(w http.ResponseWriter, r *http.Request) { serveOp(e, OpDelete, w, r) })
+	mux.HandleFunc("/v1/knn", func(w http.ResponseWriter, r *http.Request) { serveOp(e, OpKNN, w, r) })
+	mux.HandleFunc("/v1/box", func(w http.ResponseWriter, r *http.Request) { serveOp(e, OpBox, w, r) })
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(e.Stats())
+	})
+	return mux
+}
+
+// serveOp decodes, submits through the engine, and encodes the response.
+func serveOp(e *Engine, op Op, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var body httpReq
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHTTPBody))
+	if err := dec.Decode(&body); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req := NewRequest(op)
+	req.K = body.K
+	var err error
+	if req.Pts, err = decodePoints(body.Points); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Boxes, err = decodeBoxes(body.Boxes); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := e.Do(r.Context(), req); err != nil {
+		writeEngineErr(w, err)
+		return
+	}
+	resp := httpResp{
+		Found:   req.Resp.Found,
+		Applied: req.Resp.Applied,
+		Counts:  req.Resp.Counts,
+		Epoch:   req.Resp.Epoch,
+		Trace:   req.Resp.Trace,
+	}
+	if op == OpKNN {
+		resp.Neighbors = encodeNeighbors(req.Resp.Neighbors)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// writeEngineErr maps engine errors to HTTP statuses: malformed input is
+// the client's fault (400); shed, shutdown, and drain-deadline mean "back
+// off and retry" (503 + Retry-After).
+func writeEngineErr(w http.ResponseWriter, err error) {
+	var bad *BadRequestError
+	switch {
+	case errors.As(err, &bad):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, ErrQueueFull),
+		errors.Is(err, ErrShuttingDown),
+		errors.Is(err, ErrDrainDeadline):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// decodePoints converts JSON coordinate rows to geom.Points.
+func decodePoints(rows [][]uint32) ([]geom.Point, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	pts := make([]geom.Point, len(rows))
+	for i, row := range rows {
+		p, err := pointFromCoords(row)
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}
+
+// decodeBoxes converts JSON lo/hi pairs to geom.Boxes.
+func decodeBoxes(rows []httpBox) ([]geom.Box, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	boxes := make([]geom.Box, len(rows))
+	for i, row := range rows {
+		lo, err := pointFromCoords(row.Lo)
+		if err != nil {
+			return nil, fmt.Errorf("box %d lo: %w", i, err)
+		}
+		hi, err := pointFromCoords(row.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("box %d hi: %w", i, err)
+		}
+		boxes[i] = geom.Box{Lo: lo, Hi: hi}
+	}
+	return boxes, nil
+}
+
+// pointFromCoords builds a geom.Point from a coordinate row.
+func pointFromCoords(row []uint32) (geom.Point, error) {
+	if len(row) == 0 || len(row) > int(geom.MaxDims) {
+		return geom.Point{}, fmt.Errorf("%d coords (want 1..%d)", len(row), geom.MaxDims)
+	}
+	var p geom.Point
+	p.Dims = uint8(len(row))
+	copy(p.Coords[:], row)
+	return p, nil
+}
+
+// encodeNeighbors converts core neighbor lists to the JSON shape.
+func encodeNeighbors(lists [][]core.Neighbor) [][]httpNbr {
+	out := make([][]httpNbr, len(lists))
+	for i, list := range lists {
+		row := make([]httpNbr, len(list))
+		for j, nb := range list {
+			row[j] = httpNbr{
+				Point: append([]uint32(nil), nb.Point.Coords[:nb.Point.Dims]...),
+				Dist:  nb.Dist,
+			}
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"pimzdtree/internal/geom"
+)
+
+// Open-loop saturation load generator. Arrivals follow a Poisson process
+// at the offered rate — the generator does NOT wait for responses before
+// the next arrival, so queueing delay cannot throttle the offered load
+// (the classic closed-loop measurement bug that hides saturation). At
+// each offered-load step it records completed/shed counts and the
+// end-to-end latency distribution; the report marks the highest step the
+// engine sustained (shed < 1%, achieved ≥ 95% of offered).
+
+// OpMix weights the per-request operation draw. Weights are relative;
+// zero disables an op. K is the kNN neighbor count.
+type OpMix struct {
+	SearchW, InsertW, DeleteW, KNNW, BoxW int
+	K                                     int
+}
+
+// DefaultMix is a read-heavy serving mix.
+func DefaultMix() OpMix {
+	return OpMix{SearchW: 70, InsertW: 15, DeleteW: 5, KNNW: 8, BoxW: 2, K: 8}
+}
+
+func (m OpMix) total() int { return m.SearchW + m.InsertW + m.DeleteW + m.KNNW + m.BoxW }
+
+// draw picks an op by weight.
+func (m OpMix) draw(rng *rand.Rand) Op {
+	n := rng.Intn(m.total())
+	if n -= m.SearchW; n < 0 {
+		return OpSearch
+	}
+	if n -= m.InsertW; n < 0 {
+		return OpInsert
+	}
+	if n -= m.DeleteW; n < 0 {
+		return OpDelete
+	}
+	if n -= m.KNNW; n < 0 {
+		return OpKNN
+	}
+	return OpBox
+}
+
+// SaturationConfig parameterizes one sweep.
+type SaturationConfig struct {
+	Engine *Engine
+	// Seed fixes the RNG that drives arrivals and op/point draws.
+	Seed int64
+	// Data is the point pool queries and updates draw from (required).
+	Data []geom.Point
+	// Boxes is the box pool (required if Mix.BoxW > 0).
+	Boxes []geom.Box
+	// Mix weights the operations (zero value = DefaultMix).
+	Mix OpMix
+	// Offered is the sweep: offered load steps in requests/second.
+	Offered []float64
+	// StepDuration is how long each step runs.
+	StepDuration time.Duration
+	// BatchSize is points per request (default 1 — coalescing is the
+	// engine's job, not the client's).
+	BatchSize int
+}
+
+// LoadPoint is one offered-load step's measurement.
+type LoadPoint struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Completed   int     `json:"completed"`
+	Shed        int     `json:"shed"`
+	Errors      int     `json:"errors"`
+	P50         float64 `json:"p50_seconds"`
+	P99         float64 `json:"p99_seconds"`
+	P999        float64 `json:"p999_seconds"`
+}
+
+// Sustained reports whether the step absorbed its offered load: shedding
+// stayed under 1% and completions kept up with arrivals (≥ 95%).
+func (p LoadPoint) Sustained() bool {
+	total := p.Completed + p.Shed + p.Errors
+	if total == 0 {
+		return false
+	}
+	return float64(p.Shed)/float64(total) < 0.01 && p.AchievedRPS >= 0.95*p.OfferedRPS
+}
+
+// SaturationReport is the sweep result.
+type SaturationReport struct {
+	Mode            string      `json:"mode"`
+	Points          []LoadPoint `json:"points"`
+	MaxSustainedRPS float64     `json:"max_sustained_rps"`
+}
+
+// pendingReq tracks an in-flight request's submit time.
+type pendingReq struct {
+	r     *Request
+	start time.Time
+}
+
+// RunSaturation sweeps the offered-load steps against cfg.Engine.
+func RunSaturation(cfg SaturationConfig) SaturationReport {
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	report := SaturationReport{Mode: cfg.Engine.cfg.Mode.String()}
+	for i, rps := range cfg.Offered {
+		pt := runStep(cfg, rps, cfg.Seed+int64(i)*7919)
+		report.Points = append(report.Points, pt)
+		if pt.Sustained() && pt.AchievedRPS > report.MaxSustainedRPS {
+			report.MaxSustainedRPS = pt.AchievedRPS
+		}
+	}
+	return report
+}
+
+// runStep runs one offered-load step: a dispatcher submits on the
+// Poisson schedule while a collector awaits completions, so waiting
+// never delays arrivals.
+func runStep(cfg SaturationConfig, rps float64, seed int64) LoadPoint {
+	rng := rand.New(rand.NewSource(seed))
+	pt := LoadPoint{OfferedRPS: rps}
+
+	pending := make(chan pendingReq, 1<<16)
+	latencies := make([]float64, 0, int(rps*cfg.StepDuration.Seconds())+16)
+	errs := 0
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for pr := range pending {
+			<-pr.r.Done()
+			if pr.r.Resp.Err != nil {
+				errs++
+				continue
+			}
+			latencies = append(latencies, time.Since(pr.start).Seconds())
+		}
+	}()
+
+	start := time.Now()
+	deadline := start.Add(cfg.StepDuration)
+	next := start
+	for {
+		now := time.Now()
+		if now.After(deadline) {
+			break
+		}
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		r := makeLoadRequest(cfg, rng)
+		submitAt := time.Now()
+		if err := cfg.Engine.Submit(r); err != nil {
+			pt.Shed++
+		} else {
+			pending <- pendingReq{r: r, start: submitAt}
+		}
+		// Poisson arrivals: exponential inter-arrival, scheduled on an
+		// absolute timeline so a slow Submit bursts to catch up instead
+		// of silently lowering the offered rate.
+		next = next.Add(time.Duration(rng.ExpFloat64() / rps * float64(time.Second)))
+	}
+	close(pending)
+	<-collectorDone
+
+	elapsed := time.Since(start).Seconds()
+	pt.Completed = len(latencies)
+	pt.Errors = errs
+	pt.AchievedRPS = float64(pt.Completed) / elapsed
+	sort.Float64s(latencies)
+	pt.P50 = quantile(latencies, 0.50)
+	pt.P99 = quantile(latencies, 0.99)
+	pt.P999 = quantile(latencies, 0.999)
+	return pt
+}
+
+// makeLoadRequest draws one request from the pools.
+func makeLoadRequest(cfg SaturationConfig, rng *rand.Rand) *Request {
+	op := cfg.Mix.draw(rng)
+	if op == OpBox && len(cfg.Boxes) == 0 {
+		op = OpSearch
+	}
+	r := NewRequest(op)
+	if op == OpBox {
+		r.Boxes = []geom.Box{cfg.Boxes[rng.Intn(len(cfg.Boxes))]}
+		return r
+	}
+	r.Pts = make([]geom.Point, cfg.BatchSize)
+	for i := range r.Pts {
+		r.Pts[i] = cfg.Data[rng.Intn(len(cfg.Data))]
+	}
+	if op == OpKNN {
+		r.K = cfg.Mix.K
+		if r.K <= 0 {
+			r.K = 8
+		}
+	}
+	return r
+}
+
+// quantile reads the q-quantile from sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

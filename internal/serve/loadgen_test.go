@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"pimzdtree/internal/workload"
+)
+
+func TestSaturationSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e, data := testEngine(t, ModePipeline, 10000)
+	boxes := workload.QueryBoxes(9, data, 64, 32)
+
+	rep := RunSaturation(SaturationConfig{
+		Engine:       e,
+		Seed:         1,
+		Data:         data,
+		Boxes:        boxes,
+		Offered:      []float64{200, 1000},
+		StepDuration: 250 * time.Millisecond,
+	})
+	if rep.Mode != "pipeline" {
+		t.Fatalf("mode %q", rep.Mode)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points: %d", len(rep.Points))
+	}
+	for i, pt := range rep.Points {
+		if pt.Completed == 0 {
+			t.Fatalf("step %d completed nothing: %+v", i, pt)
+		}
+		if pt.Errors > 0 {
+			t.Fatalf("step %d had %d request errors", i, pt.Errors)
+		}
+		if pt.P50 < 0 || pt.P99 < pt.P50 || pt.P999 < pt.P99 {
+			t.Fatalf("step %d quantiles not monotone: %+v", i, pt)
+		}
+	}
+	// An idle-capable engine must sustain the gentle first step.
+	if !rep.Points[0].Sustained() {
+		t.Fatalf("200 rps not sustained: %+v", rep.Points[0])
+	}
+	if v := e.FenceViolations(); v != 0 {
+		t.Fatalf("%d fence violations", v)
+	}
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/geom"
+)
+
+// Op identifies a client operation.
+type Op uint8
+
+// Client operations. The zero value is invalid so uninitialized requests
+// fail validation instead of silently becoming searches.
+const (
+	OpSearch Op = iota + 1
+	OpInsert
+	OpDelete
+	OpKNN
+	OpBox
+
+	// opBarrier is engine-internal: it completes only after every request
+	// admitted before it has completed, giving tests and the drain path a
+	// deterministic epoch cut.
+	opBarrier
+)
+
+// String names the op as the metrics label and wire protocol spell it.
+func (o Op) String() string {
+	switch o {
+	case OpSearch:
+		return "search"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpKNN:
+		return "knn"
+	case OpBox:
+		return "box"
+	case opBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Sentinel errors a request can complete with. HTTP maps all three to
+// 503 (the client should back off and retry); the wire protocol has a
+// status code per case.
+var (
+	// ErrQueueFull is admission control: the intake queue is at capacity
+	// and the request was shed instead of enqueued.
+	ErrQueueFull = errors.New("serve: intake queue full")
+	// ErrShuttingDown rejects requests submitted after shutdown began.
+	ErrShuttingDown = errors.New("serve: engine shutting down")
+	// ErrDrainDeadline completes requests still pending when the shutdown
+	// drain deadline passes: they were accepted but not executed.
+	ErrDrainDeadline = errors.New("serve: shutdown drain deadline exceeded")
+)
+
+// BadRequestError reports malformed client input (wrong dimensionality,
+// empty batch, out-of-range k). HTTP maps it to 400.
+type BadRequestError struct{ Msg string }
+
+func (e *BadRequestError) Error() string { return "serve: bad request: " + e.Msg }
+
+// badReq builds a BadRequestError.
+func badReq(format string, args ...any) error {
+	return &BadRequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Request is one client operation: a batch of points (search, insert,
+// delete, knn) or boxes (box count). Submit enqueues it; Done() closes
+// once the engine has filled Resp. A Request must not be reused.
+type Request struct {
+	Op    Op
+	Pts   []geom.Point
+	Boxes []geom.Box
+	K     int // OpKNN only
+
+	Resp Response
+
+	done chan struct{}
+	enq  time.Time
+}
+
+// NewRequest builds a request with its completion channel armed.
+func NewRequest(op Op) *Request {
+	return &Request{Op: op, done: make(chan struct{})}
+}
+
+// Done returns the completion channel: closed once Resp is filled.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// complete fills the terminal state and releases the waiter.
+func (r *Request) complete() { close(r.done) }
+
+// fail completes the request with an error.
+func (r *Request) fail(err error) {
+	r.Resp.Err = err
+	r.complete()
+}
+
+// opCount returns the number of point-operations the request admits into
+// the queue (admission control is sized in ops, not requests, so one
+// giant batch cannot starve a thousand small ones unaccounted).
+func (r *Request) opCount() int64 {
+	if r.Op == OpBox {
+		return int64(len(r.Boxes))
+	}
+	n := int64(len(r.Pts))
+	if n == 0 {
+		n = 1 // barriers and degenerate requests still occupy a slot
+	}
+	return n
+}
+
+// Response is the terminal state of a request. Exactly the fields for the
+// request's Op are populated.
+type Response struct {
+	Err error
+
+	Found     []bool            // OpSearch: membership per point
+	Applied   int               // OpInsert/OpDelete: points applied
+	Neighbors [][]core.Neighbor // OpKNN: per query, sorted by distance
+	Counts    []int64           // OpBox: stored points per box
+
+	// Epoch is the update epoch the request observed: for reads, the
+	// stable snapshot epoch the whole read phase ran against; for
+	// updates, the epoch their batch published.
+	Epoch uint64
+	// Trace is the flight-recorder trace ID of the coalesced tree batch
+	// that served this request (0 when tracing is off).
+	Trace uint64
+}
+
+// validate rejects malformed requests before they reach the queue.
+func (e *Engine) validate(r *Request) error {
+	dims := e.cfg.Backend.Dims()
+	switch r.Op {
+	case OpSearch, OpInsert, OpDelete, OpKNN:
+		if len(r.Pts) == 0 {
+			return badReq("%s: empty point batch", r.Op)
+		}
+		if len(r.Boxes) != 0 {
+			return badReq("%s: unexpected boxes", r.Op)
+		}
+		for i := range r.Pts {
+			if r.Pts[i].Dims != dims {
+				return badReq("%s: point %d has %d dims, index has %d", r.Op, i, r.Pts[i].Dims, dims)
+			}
+		}
+		if r.Op == OpKNN && (r.K < 1 || r.K > e.cfg.MaxK) {
+			return badReq("knn: k=%d outside [1, %d]", r.K, e.cfg.MaxK)
+		}
+	case OpBox:
+		if len(r.Boxes) == 0 {
+			return badReq("box: empty box batch")
+		}
+		if len(r.Pts) != 0 {
+			return badReq("box: unexpected points")
+		}
+		for i := range r.Boxes {
+			if r.Boxes[i].Lo.Dims != dims || r.Boxes[i].Hi.Dims != dims {
+				return badReq("box %d: dims mismatch (index has %d)", i, dims)
+			}
+		}
+	case opBarrier:
+		// engine-internal, always valid
+	default:
+		return badReq("unknown op %d", uint8(r.Op))
+	}
+	return nil
+}

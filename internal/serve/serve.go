@@ -1,0 +1,130 @@
+// Package serve is the concurrent serving engine: it turns the
+// externally-serialized batch API of the PIM-zd-tree into a
+// multi-client service without giving up the batch fast path.
+//
+// The paper's throughput claim rests on batching — push-pull waves keep
+// every PIM module busy only when queries arrive in bulk. A naive server
+// (one mutex, one request at a time) therefore pays the full fixed cost
+// of a wave per request and the host pipeline, not the simulated
+// hardware, becomes the bottleneck. This package recovers the batch
+// shape from concurrent traffic:
+//
+//	clients ──► sharded intake queues ──► builder ──► executor ──► responses
+//	             (admission control)      (coalesce    (epoch
+//	                                       into epoch   fence +
+//	                                       plans)       batch ops)
+//
+// Concurrent client requests land in finely-locked sharded MPSC queues
+// (admission-controlled: a full queue sheds instead of building unbounded
+// backlog). A builder goroutine drains the shards and coalesces whatever
+// has accumulated into an epoch plan — one native batch per operation
+// type (Search/Insert/Delete/KNN/BoxCount are already the fast path). An
+// executor goroutine runs plans one at a time against the tree: all read
+// batches of an epoch execute against the root snapshot published by the
+// previous update epoch (verified by an epoch fence around the read
+// phase), then the epoch's updates apply and publish the next snapshot.
+// While the executor runs epoch E, the builder is already assembling
+// epoch E+1 and clients keep enqueueing — the pipeline stays full.
+//
+// Epoch semantics (MVCC-lite): requests admitted into epoch E observe
+//
+//	reads   — the root published by epoch E-1's updates (stable for the
+//	          whole read phase; the fence proves it),
+//	inserts — applied before deletes of the same epoch,
+//	deletes — applied last; both become visible to epoch E+1 reads.
+//
+// Coalescing changes only *when* batches form, never what a batch
+// computes: a deterministic request schedule yields byte-identical
+// modeled metrics at any GOMAXPROCS (tested), and the modeled goldens of
+// the underlying tree are untouched.
+package serve
+
+import (
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/geom"
+	"pimzdtree/internal/morton"
+)
+
+// Backend is the batch interface the engine drives. *core.Tree is the
+// primary implementation (via NewTreeBackend); the CPU baselines can be
+// adapted for apples-to-apples serving comparisons.
+//
+// The engine guarantees external serialization: at most one Backend
+// method runs at a time. Epoch must be readable from any goroutine and
+// advance exactly once per applied update batch (InsertBatch/DeleteBatch)
+// — it is the fence the engine checks around read phases.
+type Backend interface {
+	Dims() uint8
+	SearchBatch(pts []geom.Point) []bool
+	InsertBatch(pts []geom.Point)
+	DeleteBatch(pts []geom.Point)
+	KNNBatch(pts []geom.Point, k int) [][]core.Neighbor
+	BoxCountBatch(boxes []geom.Box) []int64
+	Epoch() uint64
+}
+
+// TreeBackend adapts *core.Tree to the Backend interface.
+type TreeBackend struct {
+	T *core.Tree
+}
+
+// NewTreeBackend wraps a PIM-zd-tree.
+func NewTreeBackend(t *core.Tree) *TreeBackend { return &TreeBackend{T: t} }
+
+// Dims returns the indexed dimensionality.
+func (b *TreeBackend) Dims() uint8 { return b.T.Dims() }
+
+// SearchBatch answers point membership for the batch: the tree's batch
+// search routes every key to its terminal node, and a host-side check
+// tests whether the terminal leaf actually stores the queried point
+// (terminal nodes for absent keys are the divergence point, not a leaf
+// holding the key).
+func (b *TreeBackend) SearchBatch(pts []geom.Point) []bool {
+	found := make([]bool, len(pts))
+	if b.T.Size() == 0 {
+		return found
+	}
+	res := b.T.Search(pts)
+	for i, r := range res {
+		term := r.Terminal
+		if term == nil || !term.IsLeaf() {
+			continue
+		}
+		key := morton.EncodePoint(pts[i])
+		for j, k := range term.Keys {
+			if k == key && term.Pts[j].Equal(pts[i]) {
+				found[i] = true
+				break
+			}
+		}
+	}
+	return found
+}
+
+// InsertBatch applies one insert batch.
+func (b *TreeBackend) InsertBatch(pts []geom.Point) { b.T.Insert(pts) }
+
+// DeleteBatch applies one delete batch.
+func (b *TreeBackend) DeleteBatch(pts []geom.Point) { b.T.Delete(pts) }
+
+// KNNBatch answers exact kNN (l2) for the batch. k is clamped to the
+// current tree size; an empty tree yields empty neighbor lists.
+func (b *TreeBackend) KNNBatch(pts []geom.Point, k int) [][]core.Neighbor {
+	if n := b.T.Size(); n == 0 {
+		return make([][]core.Neighbor, len(pts))
+	} else if k > n {
+		k = n
+	}
+	return b.T.KNN(pts, k)
+}
+
+// BoxCountBatch counts stored points per box.
+func (b *TreeBackend) BoxCountBatch(boxes []geom.Box) []int64 {
+	if b.T.Size() == 0 {
+		return make([]int64, len(boxes))
+	}
+	return b.T.BoxCount(boxes)
+}
+
+// Epoch returns the tree's published update epoch.
+func (b *TreeBackend) Epoch() uint64 { return b.T.Epoch() }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"pimzdtree/internal/bench"
 )
@@ -53,10 +54,29 @@ func pctChange(oldV, newV float64) float64 {
 	return (newV - oldV) / oldV * 100
 }
 
+// parsePanels turns the -panels allowlist ("fig5a,fig6") into a set;
+// empty input means no filtering (nil set).
+func parsePanels(s string) map[string]bool {
+	var allow map[string]bool
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if allow == nil {
+			allow = map[string]bool{}
+		}
+		allow[name] = true
+	}
+	return allow
+}
+
 // diffReports walks the old report's panels (and their phases), looks each
 // up in the new report, and collects everything slower than thresholdPct.
+// A non-nil allow set restricts the comparison to those panel ids — the
+// rest are skipped entirely (neither compared nor reported missing).
 // Progress lines for every compared entry go to w.
-func diffReports(w io.Writer, oldR, newR *bench.PerfReport, thresholdPct float64) []regression {
+func diffReports(w io.Writer, oldR, newR *bench.PerfReport, thresholdPct float64, allow map[string]bool) []regression {
 	newPanels := make(map[string]bench.PanelPerf, len(newR.Panels))
 	for _, p := range newR.Panels {
 		newPanels[p.Experiment] = p
@@ -78,6 +98,9 @@ func diffReports(w io.Writer, oldR, newR *bench.PerfReport, thresholdPct float64
 		}
 	}
 	for _, op := range oldR.Panels {
+		if allow != nil && !allow[op.Experiment] {
+			continue
+		}
 		np, ok := newPanels[op.Experiment]
 		check(op.Experiment, op.MOpsPerSec, np.MOpsPerSec, ok)
 		if !ok {
@@ -96,8 +119,11 @@ func diffReports(w io.Writer, oldR, newR *bench.PerfReport, thresholdPct float64
 }
 
 // diffBench is the CLI entry: load both reports, diff, report, and return
-// an error (-> exit 1) when anything regressed past the threshold.
-func diffBench(w io.Writer, oldPath, newPath string, thresholdPct float64) error {
+// an error (-> exit 1) when anything regressed past the threshold. A
+// non-empty panels allowlist restricts the gate to those experiments; a
+// name matching neither report is an error (a typo would otherwise turn
+// the gate off silently).
+func diffBench(w io.Writer, oldPath, newPath string, thresholdPct float64, allow map[string]bool) error {
 	oldR, err := readPerf(oldPath)
 	if err != nil {
 		return err
@@ -106,8 +132,20 @@ func diffBench(w io.Writer, oldPath, newPath string, thresholdPct float64) error
 	if err != nil {
 		return err
 	}
+	for name := range allow {
+		known := false
+		for _, p := range oldR.Panels {
+			known = known || p.Experiment == name
+		}
+		for _, p := range newR.Panels {
+			known = known || p.Experiment == name
+		}
+		if !known {
+			return fmt.Errorf("-panels %q: not a panel in either report", name)
+		}
+	}
 	fmt.Fprintf(w, "perf diff %s -> %s (threshold %.0f%%)\n", oldPath, newPath, thresholdPct)
-	regs := diffReports(w, oldR, newR, thresholdPct)
+	regs := diffReports(w, oldR, newR, thresholdPct, allow)
 	if len(regs) > 0 {
 		fmt.Fprintf(w, "%d regression(s):\n", len(regs))
 		for _, r := range regs {

@@ -21,7 +21,7 @@ func TestDiffReportsNoRegression(t *testing.T) {
 		bench.PhasePerf{Name: "merge", MOpsPerSec: 2}))
 	newR := report(panel("fig5a", 9.5), panel("fig6", 5.5,
 		bench.PhasePerf{Name: "merge", MOpsPerSec: 2.1}))
-	if regs := diffReports(io.Discard, oldR, newR, 10); len(regs) != 0 {
+	if regs := diffReports(io.Discard, oldR, newR, 10, nil); len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %v", regs)
 	}
 }
@@ -29,7 +29,7 @@ func TestDiffReportsNoRegression(t *testing.T) {
 func TestDiffReportsPanelRegression(t *testing.T) {
 	oldR := report(panel("fig5a", 10))
 	newR := report(panel("fig5a", 8))
-	regs := diffReports(io.Discard, oldR, newR, 10)
+	regs := diffReports(io.Discard, oldR, newR, 10, nil)
 	if len(regs) != 1 || regs[0].What != "fig5a" {
 		t.Fatalf("want one fig5a regression, got %v", regs)
 	}
@@ -45,7 +45,7 @@ func TestDiffReportsPhaseRegression(t *testing.T) {
 	newR := report(panel("fig6", 5,
 		bench.PhasePerf{Name: "merge", MOpsPerSec: 0.5},
 		bench.PhasePerf{Name: "relayout", MOpsPerSec: 3}))
-	regs := diffReports(io.Discard, oldR, newR, 10)
+	regs := diffReports(io.Discard, oldR, newR, 10, nil)
 	if len(regs) != 1 || regs[0].What != "fig6/merge" {
 		t.Fatalf("want one fig6/merge regression, got %v", regs)
 	}
@@ -54,7 +54,7 @@ func TestDiffReportsPhaseRegression(t *testing.T) {
 func TestDiffReportsMissingPanel(t *testing.T) {
 	oldR := report(panel("fig5a", 10), panel("fig7", 4))
 	newR := report(panel("fig5a", 10))
-	regs := diffReports(io.Discard, oldR, newR, 10)
+	regs := diffReports(io.Discard, oldR, newR, 10, nil)
 	if len(regs) != 1 || regs[0].What != "fig7" {
 		t.Fatalf("want missing-fig7 regression, got %v", regs)
 	}
@@ -66,14 +66,42 @@ func TestDiffReportsMissingPanel(t *testing.T) {
 func TestDiffReportsNewPanelPasses(t *testing.T) {
 	oldR := report(panel("fig5a", 10))
 	newR := report(panel("fig5a", 10), panel("fig9", 1))
-	if regs := diffReports(io.Discard, oldR, newR, 10); len(regs) != 0 {
+	if regs := diffReports(io.Discard, oldR, newR, 10, nil); len(regs) != 0 {
 		t.Fatalf("new panel must not regress: %v", regs)
+	}
+}
+
+func TestDiffReportsPanelAllowlist(t *testing.T) {
+	oldR := report(panel("fig5a", 10), panel("fig6", 5,
+		bench.PhasePerf{Name: "merge", MOpsPerSec: 2}), panel("fig7", 4))
+	newR := report(panel("fig5a", 1), panel("fig6", 5,
+		bench.PhasePerf{Name: "merge", MOpsPerSec: 0.1}))
+	// Unfiltered: fig5a and fig6/merge regress, fig7 is missing.
+	if regs := diffReports(io.Discard, oldR, newR, 10, nil); len(regs) != 3 {
+		t.Fatalf("unfiltered: want 3 regressions, got %v", regs)
+	}
+	// Allowlist hides the fig5a regression and the missing fig7; the
+	// allowed panel's phases are still gated.
+	regs := diffReports(io.Discard, oldR, newR, 10, parsePanels("fig6"))
+	if len(regs) != 1 || regs[0].What != "fig6/merge" {
+		t.Fatalf("allowlisted: want only fig6/merge, got %v", regs)
+	}
+}
+
+func TestParsePanels(t *testing.T) {
+	if parsePanels("") != nil {
+		t.Fatal("empty allowlist must be nil (no filtering)")
+	}
+	got := parsePanels(" fig5a, fig6 ,")
+	if len(got) != 2 || !got["fig5a"] || !got["fig6"] {
+		t.Fatalf("parsePanels = %v", got)
 	}
 }
 
 func TestDiffArgsTrailingThreshold(t *testing.T) {
 	th := 10.0
-	paths, err := diffArgs([]string{"old.json", "new.json", "-threshold", "50"}, &th)
+	var pn string
+	paths, err := diffArgs([]string{"old.json", "new.json", "-threshold", "50", "-panels", "fig5a,fig6"}, &th, &pn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,17 +111,24 @@ func TestDiffArgsTrailingThreshold(t *testing.T) {
 	if th != 50 {
 		t.Fatalf("threshold = %v, want 50", th)
 	}
+	if pn != "fig5a,fig6" {
+		t.Fatalf("panels = %q", pn)
+	}
 }
 
 func TestDiffArgsErrors(t *testing.T) {
 	th := 10.0
-	if _, err := diffArgs([]string{"only.json"}, &th); err == nil {
+	var pn string
+	if _, err := diffArgs([]string{"only.json"}, &th, &pn); err == nil {
 		t.Fatal("want error for one path")
 	}
-	if _, err := diffArgs([]string{"a", "b", "-threshold"}, &th); err == nil {
+	if _, err := diffArgs([]string{"a", "b", "-threshold"}, &th, &pn); err == nil {
 		t.Fatal("want error for dangling -threshold")
 	}
-	if _, err := diffArgs([]string{"a", "b", "-threshold", "x"}, &th); err == nil {
+	if _, err := diffArgs([]string{"a", "b", "-threshold", "x"}, &th, &pn); err == nil {
 		t.Fatal("want error for non-numeric threshold")
+	}
+	if _, err := diffArgs([]string{"a", "b", "-panels"}, &th, &pn); err == nil {
+		t.Fatal("want error for dangling -panels")
 	}
 }

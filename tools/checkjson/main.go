@@ -13,11 +13,13 @@
 //	                              # ordered by trace, records internally
 //	                              # consistent (non-negative counters,
 //	                              # straggler >= -1, rounds match detail)
-//	checkjson -diff old.json new.json [-threshold pct]
+//	checkjson -diff old.json new.json [-threshold pct] [-panels a,b]
 //	                              # perf-regression gate between two
 //	                              # -bench-json reports: fail when any
 //	                              # panel's or phase's mops_per_sec drops
-//	                              # more than pct percent (default 10)
+//	                              # more than pct percent (default 10);
+//	                              # -panels restricts the gate to a
+//	                              # comma-separated panel allowlist
 //
 // Exit status 0 on success; 1 with a diagnostic on the first violation.
 package main
@@ -43,6 +45,7 @@ func main() {
 		flight    = flag.String("flight", "", "validate a flight-recorder dump (pimzd-serve/-bench -flight-out)")
 		diffMode  = flag.Bool("diff", false, "diff two -bench-json reports: checkjson -diff old.json new.json")
 		threshold = flag.Float64("threshold", 10, "with -diff, regression threshold in percent")
+		panels    = flag.String("panels", "", "with -diff, comma-separated allowlist of panel ids to compare (default: all)")
 	)
 	flag.Parse()
 	switch {
@@ -67,28 +70,29 @@ func main() {
 			fail(*flight, err)
 		}
 	case *diffMode:
-		paths, err := diffArgs(flag.Args(), threshold)
+		paths, err := diffArgs(flag.Args(), threshold, panels)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "checkjson: %v\n", err)
 			os.Exit(2)
 		}
-		if err := diffBench(os.Stdout, paths[0], paths[1], *threshold); err != nil {
+		if err := diffBench(os.Stdout, paths[0], paths[1], *threshold, parsePanels(*panels)); err != nil {
 			fail(paths[1], err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl | -bench file.json | -promtext file.txt | -flight file.json | -diff old.json new.json [-threshold pct]")
+		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl | -bench file.json | -promtext file.txt | -flight file.json | -diff old.json new.json [-threshold pct] [-panels a,b]")
 		os.Exit(2)
 	}
 }
 
 // diffArgs extracts the two report paths for -diff. The flag package stops
-// parsing at the first positional, so a trailing "-threshold N" after the
-// file names would otherwise be swallowed into the positionals — scan for
-// it by hand.
-func diffArgs(args []string, threshold *float64) ([]string, error) {
+// parsing at the first positional, so a trailing "-threshold N" or
+// "-panels a,b" after the file names would otherwise be swallowed into
+// the positionals — scan for them by hand.
+func diffArgs(args []string, threshold *float64, panels *string) ([]string, error) {
 	var paths []string
 	for i := 0; i < len(args); i++ {
-		if args[i] == "-threshold" || args[i] == "--threshold" {
+		switch args[i] {
+		case "-threshold", "--threshold":
 			if i+1 >= len(args) {
 				return nil, fmt.Errorf("-threshold needs a value")
 			}
@@ -98,9 +102,15 @@ func diffArgs(args []string, threshold *float64) ([]string, error) {
 			}
 			*threshold = v
 			i++
-			continue
+		case "-panels", "--panels":
+			if i+1 >= len(args) {
+				return nil, fmt.Errorf("-panels needs a value")
+			}
+			*panels = args[i+1]
+			i++
+		default:
+			paths = append(paths, args[i])
 		}
-		paths = append(paths, args[i])
 	}
 	if len(paths) != 2 {
 		return nil, fmt.Errorf("-diff needs exactly two report paths, got %d", len(paths))
