@@ -35,8 +35,10 @@ race:
 # report is byte-identical across GOMAXPROCS; the concurrent serving
 # engine must absorb parallel HTTP+TCP clients (pimzd-loadgen) with a
 # mid-load /metrics scrape and drain cleanly on SIGTERM, and a short
-# in-process saturation sweep must complete; and the perf trajectory must
-# not regress past 50% between the last two recorded BENCH_*.json reports.
+# in-process saturation sweep must complete; a sharded server (-trees 4)
+# must boot, export the per-shard metrics families and the
+# /snapshot/shards layout; and the perf trajectory must not regress past
+# 50% between the last two recorded BENCH_*.json reports.
 smoke:
 	mkdir -p .smoke
 	$(GO) run ./cmd/pimzd-trace -op search -n 20000 -batch 500 -p 256 \
@@ -45,9 +47,9 @@ smoke:
 	$(GO) run ./cmd/pimzd-trace -op search -n 20000 -batch 500 -p 256 \
 		-format jsonl -out .smoke/search.jsonl
 	$(GO) run ./tools/checkjson -jsonl .smoke/search.jsonl
-	$(GO) run ./cmd/pimzd-bench -experiment fig5a,fig6,table2 -format csv \
-		-warmup 20000 -batch 2000 -p 256 -bench-json .smoke/bench.json \
-		> /dev/null
+	$(GO) run ./cmd/pimzd-bench -experiment fig5a,fig6,table2,shardscale \
+		-format csv -warmup 20000 -batch 2000 -p 256 \
+		-bench-json .smoke/bench.json > /dev/null
 	$(GO) run ./tools/checkjson -bench .smoke/bench.json
 	$(GO) build -o .smoke/pimzd-serve ./cmd/pimzd-serve
 	$(GO) build -o .smoke/pimzd-trace ./cmd/pimzd-trace
@@ -93,11 +95,29 @@ smoke:
 	kill -TERM $$SERVE_PID 2> /dev/null; wait $$SERVE_PID; WRC=$$?; \
 	test $$MRC -eq 0 && test $$LRC -eq 0 && test $$GRC -eq 0 && test $$WRC -eq 0
 	$(GO) run ./tools/checkjson -promtext .smoke/serve-metrics.txt
+	./.smoke/pimzd-serve -addr 127.0.0.1:0 -port-file .smoke/sport \
+		-trees 4 -n 20000 -batch 1000 -p 128 -iters 10 -duration 60s & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 100); do test -s .smoke/sport && break; sleep 0.1; done; \
+	test -s .smoke/sport || { kill $$SERVE_PID; echo "serve: no port file"; exit 1; }; \
+	ADDR=$$(cat .smoke/sport); \
+	for i in $$(seq 1 100); do \
+		curl -fsS "http://$$ADDR/healthz" > /dev/null 2>&1 && break; sleep 0.2; done; \
+	curl -fsS "http://$$ADDR/metrics" > .smoke/shard-metrics.txt && \
+	curl -fsS "http://$$ADDR/snapshot/shards" > .smoke/shards.json; \
+	RC=$$?; \
+	grep -q '^pimzd_shard_points{shard="3"}' .smoke/shard-metrics.txt; G1=$$?; \
+	grep -q '^pimzd_shard_imbalance' .smoke/shard-metrics.txt; G2=$$?; \
+	grep -q '"shards":4' .smoke/shards.json; G3=$$?; \
+	kill -TERM $$SERVE_PID 2> /dev/null; wait $$SERVE_PID; WRC=$$?; \
+	test $$RC -eq 0 && test $$G1 -eq 0 && test $$G2 -eq 0 && \
+	test $$G3 -eq 0 && test $$WRC -eq 0
+	$(GO) run ./tools/checkjson -promtext .smoke/shard-metrics.txt
 	$(GO) run ./cmd/pimzd-bench -experiment saturate -format csv \
 		-warmup 10000 -batch 1000 -p 128 > .smoke/saturate.csv
 	test -s .smoke/saturate.csv
-	$(GO) run ./tools/checkjson -diff BENCH_7.json BENCH_8.json -threshold 50
-	$(GO) run ./tools/checkjson -diff BENCH_7.json BENCH_8.json -threshold 50 \
+	$(GO) run ./tools/checkjson -diff BENCH_8.json BENCH_9.json -threshold 50
+	$(GO) run ./tools/checkjson -diff BENCH_8.json BENCH_9.json -threshold 50 \
 		-panels fig5a,fig6,table2
 	rm -rf .smoke
 
@@ -112,10 +132,10 @@ bench:
 # is the wall-clock that changes.)
 bench-json:
 	$(GO) run ./cmd/pimzd-bench \
-		-experiment fig5a,fig5c,fig6,fig7,fig8,fig9,table2,table3,latency,saturate \
+		-experiment fig5a,fig5c,fig6,fig7,fig8,fig9,table2,table3,latency,saturate,shardscale \
 		-format csv -warmup 30000 -batch 3000 -p 256 \
-		-bench-json BENCH_8.json > /dev/null
-	$(GO) run ./tools/checkjson -bench BENCH_8.json
+		-bench-json BENCH_9.json > /dev/null
+	$(GO) run ./tools/checkjson -bench BENCH_9.json
 
 # CPU-profile the hot query panels (kNN + box + search) at the standard
 # scaled-down size and print the flat top-15. The profile file is left in

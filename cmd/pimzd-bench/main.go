@@ -9,8 +9,9 @@
 //
 // Experiments: fig5a fig5b fig5c fig6 fig7 fig8 fig9 table2 table3
 // latency dims datasets all; extensions: energy strawman pscale future
-// bounds saturate (wall-clock serving sweep, excluded from `all`). See
-// DESIGN.md for the experiment index and EXPERIMENTS.md for
+// bounds saturate (wall-clock serving sweep, excluded from `all`)
+// shardscale (Morton-prefix multi-tree scale-out, excluded from `all`).
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for
 // paper-vs-measured values.
 package main
 
@@ -389,6 +390,17 @@ func main() {
 				check(bench.SaturateCSV(os.Stdout, rows))
 			} else {
 				bench.RenderSaturate(os.Stdout, rows)
+			}
+		case "shardscale":
+			// Morton-prefix shard scale-out (S racks, cross-shard merge,
+			// rebalancer storm); an extension beyond the paper's single-rack
+			// evaluation, so like saturate it stays out of `-experiment all`
+			// and lands in the BENCH_<n>.json trajectory instead.
+			rows := bench.ShardScale(p)
+			if csvMode {
+				check(bench.ShardScaleCSV(os.Stdout, rows))
+			} else {
+				bench.RenderShardScale(os.Stdout, rows)
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)

@@ -14,10 +14,16 @@
 // optional per-worker pacing cap. A 503 / overloaded wire status counts
 // as shed, not as an error.
 //
+// -zipf skews point-op keys Zipfian over the Morton-key-sorted pool, so
+// the hottest ranks share one contiguous key prefix: against a sharded
+// server (pimzd-serve -trees S) the skew lands on a single shard, the
+// hot-shard storm that exercises the rebalancer.
+//
 // Usage:
 //
 //	pimzd-loadgen -http 127.0.0.1:8585 -workers 8 -duration 10s
 //	pimzd-loadgen -http 127.0.0.1:8585 -tcp 127.0.0.1:9090 -workers 4 -count 200
+//	pimzd-loadgen -http 127.0.0.1:8585 -zipf 1.3 -duration 10s  # hot-shard skew
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"pimzdtree/internal/geom"
+	"pimzdtree/internal/morton"
 	"pimzdtree/internal/serve"
 	"pimzdtree/internal/workload"
 )
@@ -162,8 +169,13 @@ func main() {
 		seed     = flag.Int64("seed", 42, "pool + op mix seed (match the server's -seed)")
 		mix      = flag.String("mix", "search=70,insert=15,delete=5,knn=8,box=2", "op weights")
 		k        = flag.Int("k", 8, "k for knn requests")
+		zipf     = flag.Float64("zipf", 0, "Zipfian query-key skew exponent (> 1; 0 = uniform). Ranks the pool by Morton key, so hot keys concentrate on the low-prefix shard of a -trees server")
 	)
 	flag.Parse()
+	if *zipf != 0 && *zipf <= 1 {
+		fmt.Fprintln(os.Stderr, "pimzd-loadgen: -zipf must be > 1 (or 0 for uniform)")
+		os.Exit(2)
+	}
 
 	var ds workload.Dataset
 	switch *dataset {
@@ -185,6 +197,24 @@ func main() {
 
 	pool := ds.Generate(*seed, *n, uint8(*dims))
 	boxes := workload.QueryBoxes(*seed+1, pool, 256, 64)
+	if *zipf > 1 {
+		// Zipf ranks index the key-sorted pool: rank 0 (the hottest) is
+		// the lowest Morton key, so the traffic skew lands on one
+		// contiguous prefix range — the hot-shard storm the sharded
+		// server's rebalancer is built for.
+		keys := make([]uint64, len(pool))
+		order := make([]int, len(pool))
+		for i, p := range pool {
+			keys[i] = morton.EncodePoint(p)
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+		sorted := make([]geom.Point, len(pool))
+		for i, j := range order {
+			sorted[i] = pool[j]
+		}
+		pool = sorted
+	}
 
 	nTCP := 0
 	if *tcpAddr != "" {
@@ -217,6 +247,11 @@ func main() {
 			}
 			defer cl.close()
 			rng := rand.New(rand.NewSource(*seed + int64(w)*1297))
+			pick := func() geom.Point { return pool[rng.Intn(len(pool))] }
+			if *zipf > 1 {
+				z := rand.NewZipf(rng, *zipf, 1, uint64(len(pool)-1))
+				pick = func() geom.Point { return pool[z.Uint64()] }
+			}
 			var interval time.Duration
 			if *rps > 0 {
 				interval = time.Duration(float64(time.Second) / *rps)
@@ -235,7 +270,7 @@ func main() {
 					}
 					next = next.Add(interval)
 				}
-				r := makeRequest(opMix, rng, pool, boxes, uint8(*dims))
+				r := makeRequest(opMix, rng, pick, boxes)
 				t0 := time.Now()
 				shed, err := cl.do(r)
 				switch {
@@ -337,17 +372,17 @@ func (m loadMix) draw(rng *rand.Rand) serve.Op {
 	return m.ops[len(m.ops)-1]
 }
 
-func makeRequest(m loadMix, rng *rand.Rand, pool []geom.Point, boxes []geom.Box, dims uint8) *serve.Request {
+func makeRequest(m loadMix, rng *rand.Rand, pick func() geom.Point, boxes []geom.Box) *serve.Request {
 	op := m.draw(rng)
 	r := serve.NewRequest(op)
 	switch op {
 	case serve.OpBox:
 		r.Boxes = []geom.Box{boxes[rng.Intn(len(boxes))]}
 	case serve.OpKNN:
-		r.Pts = []geom.Point{pool[rng.Intn(len(pool))]}
+		r.Pts = []geom.Point{pick()}
 		r.K = m.k
 	default:
-		r.Pts = []geom.Point{pool[rng.Intn(len(pool))]}
+		r.Pts = []geom.Point{pick()}
 	}
 	return r
 }

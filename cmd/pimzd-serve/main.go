@@ -25,6 +25,10 @@
 //	/healthz                  health probe (ok once the warmup build finished)
 //	/snapshot/tree            JSON structural tree statistics
 //	/snapshot/modules         JSON per-module cumulative load heatmap
+//	                          (with -trees S: S racks concatenated in
+//	                          shard order)
+//	/snapshot/shards          JSON per-shard layout, load windows and
+//	                          migration counters (-trees > 1 only)
 //	/snapshot/flightrecorder  JSON per-op flight-recorder dump
 //	/snapshot/slowops         JSON slow-op records with full round detail
 //	/debug/pprof/             Go runtime profiles
@@ -42,10 +46,13 @@
 //	pimzd-serve -addr 127.0.0.1:0 -port-file /tmp/port -tcp 127.0.0.1:0 -tcp-port-file /tmp/tcp
 //	pimzd-serve -engine zd -n 100000            # shared-memory baseline
 //	pimzd-serve -mode fifo                      # no-coalescing baseline scheduler
+//	pimzd-serve -trees 8 -p 256                 # Morton-prefix sharding: 8 trees x 256 modules
+
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -66,6 +73,7 @@ import (
 	"pimzdtree/internal/obs"
 	"pimzdtree/internal/pkdtree"
 	"pimzdtree/internal/serve"
+	"pimzdtree/internal/shard"
 	"pimzdtree/internal/workload"
 	"pimzdtree/internal/zdtree"
 )
@@ -141,13 +149,30 @@ type builtIndex struct {
 	backend     serve.Backend
 	stats       func() any
 	moduleLoads func() (cycles, bytes []int64) // nil for baselines
+	shards      *shard.Index                   // nil unless -trees > 1
 }
 
-func buildIndex(kind string, dims uint8, p int, tuning core.Tuning, rec *obs.Recorder, warm []geom.Point) builtIndex {
+func buildIndex(kind string, trees int, dims uint8, p int, tuning core.Tuning, rec *obs.Recorder, warm []geom.Point) builtIndex {
+	if trees > 1 && kind != "pim" {
+		fmt.Fprintf(os.Stderr, "-trees %d requires -engine pim\n", trees)
+		os.Exit(2)
+	}
 	switch kind {
 	case "pim":
 		machine := costmodel.UPMEMServer()
 		machine.PIMModules = p
+		if trees > 1 {
+			x := shard.New(shard.Config{
+				Trees: trees, Dims: dims, Machine: machine, Tuning: tuning,
+				Obs: rec, LoadStats: true, Rebalance: true,
+			}, warm)
+			return builtIndex{
+				backend:     x,
+				stats:       func() any { return x.Stats() },
+				moduleLoads: x.ModuleLoads,
+				shards:      x,
+			}
+		}
 		t := core.New(core.Config{
 			Dims: dims, Machine: machine, Tuning: tuning,
 			Obs: rec, LoadStats: true,
@@ -252,7 +277,8 @@ func main() {
 		dataset     = flag.String("dataset", "uniform", "workload: uniform, cosmos, osm")
 		n           = flag.Int("n", 200_000, "warmup points")
 		batch       = flag.Int("batch", 5_000, "operations per synthetic workload batch")
-		modules     = flag.Int("p", 512, "PIM modules (pim engine)")
+		modules     = flag.Int("p", 512, "PIM modules per tree (pim engine)")
+		trees       = flag.Int("trees", 1, "Morton-prefix shards: partition the key space across this many parallel trees, each on its own simulated rack (pim engine; 1 = single tree)")
 		dims        = flag.Int("dims", 3, "point dimensionality (2-4)")
 		seed        = flag.Int64("seed", 42, "workload seed")
 		tuning      = flag.String("tuning", "throughput", "tuning: throughput or skew (pim engine)")
@@ -341,7 +367,7 @@ func main() {
 	pool := ds.Generate(*seed, *n+8**batch, uint8(*dims))
 	warm := pool[:*n]
 	stream := pool[*n:]
-	idx := buildIndex(*engName, uint8(*dims), *modules, tun, rec, warm)
+	idx := buildIndex(*engName, *trees, uint8(*dims), *modules, tun, rec, warm)
 	locked := &lockedBackend{b: idx.backend}
 	eng := serve.New(serve.Config{
 		Backend:      locked,
@@ -355,6 +381,43 @@ func main() {
 	})
 	var ready atomic.Bool
 	ready.Store(true)
+
+	// Per-shard metrics families and the /snapshot/shards layout snapshot
+	// (sharded runs only; with -trees 1 the exposition is byte-identical
+	// to the unsharded server). Wall-marked: the values derive from the
+	// deterministic model, but the update cadence is wall-driven.
+	extra := map[string]http.Handler{"/v1/": serve.NewHTTPHandler(eng)}
+	updateShardMetrics := func() {}
+	if idx.shards != nil {
+		shardPoints := reg.NewGaugeVec(metrics.Opts{Name: "pimzd_shard_points",
+			Help: "Points stored per Morton-prefix shard.", Wall: true, Label: "shard"})
+		shardLoad := reg.NewGaugeVec(metrics.Opts{Name: "pimzd_shard_window_load",
+			Help: "Modeled load (module cycles + channel bytes) per shard in the current rebalance window.", Wall: true, Label: "shard"})
+		shardImb := reg.NewGauge(metrics.Opts{Name: "pimzd_shard_imbalance",
+			Help: "Busiest-shard load over mean shard load in the current window.", Wall: true})
+		shardReb := reg.NewCounter(metrics.Opts{Name: "pimzd_shard_rebalances_total",
+			Help: "Load-weighted repartitions performed at epoch boundaries.", Wall: true})
+		shardMig := reg.NewCounter(metrics.Opts{Name: "pimzd_shard_migrated_points_total",
+			Help: "Points that changed shards across all repartitions.", Wall: true})
+		updateShardMetrics = func() {
+			st := idx.shards.Stats()
+			for i, ps := range st.PerShard {
+				s := strconv.Itoa(i)
+				shardPoints.With(s).Set(float64(ps.Points))
+				shardLoad.With(s).Set(float64(ps.WindowLoad))
+			}
+			shardImb.Set(st.Imbalance)
+			shardReb.SetTotal(float64(st.Rebalances))
+			shardMig.SetTotal(float64(st.MigratedPoints))
+		}
+		updateShardMetrics()
+		extra["/snapshot/shards"] = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(idx.shards.Stats()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
 
 	srv, err := metrics.StartAdmin(*addr, metrics.AdminConfig{
 		Registry: reg,
@@ -379,7 +442,7 @@ func main() {
 			}
 			return nil
 		},
-		Extra: map[string]http.Handler{"/v1/": serve.NewHTTPHandler(eng)},
+		Extra: extra,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pimzd-serve: %v\n", err)
@@ -494,6 +557,7 @@ func main() {
 			wallSeconds.With(op).Observe(wall)
 		}
 		uptime.Set(time.Since(start).Seconds())
+		updateShardMetrics()
 		if *pause > 0 {
 			select {
 			case <-ctx.Done():

@@ -39,6 +39,8 @@ import (
 	"pimzdtree/internal/core"
 	"pimzdtree/internal/costmodel"
 	"pimzdtree/internal/obs"
+	"pimzdtree/internal/pim"
+	"pimzdtree/internal/shard"
 	"pimzdtree/internal/workload"
 )
 
@@ -52,7 +54,8 @@ func main() {
 		dataset = flag.String("dataset", "uniform", "workload: uniform, cosmos, osm")
 		n       = flag.Int("n", 200_000, "warmup points")
 		batch   = flag.Int("batch", 10_000, "batch size")
-		modules = flag.Int("p", 2048, "PIM modules")
+		modules = flag.Int("p", 2048, "PIM modules per tree")
+		trees   = flag.Int("trees", 1, "Morton-prefix shards: run the op through a sharded index of this many trees (1 = single tree; per-shard spans appear as phases under the routed op)")
 		tuning  = flag.String("tuning", "throughput", "tuning: throughput or skew")
 		k       = flag.Int("k", 10, "k for knn")
 		seed    = flag.Int64("seed", 42, "workload seed")
@@ -97,41 +100,82 @@ func main() {
 	if *tuning == "skew" {
 		cfg.Tuning = core.SkewResistant
 	}
-	tree := core.New(cfg, data)
-
 	// Attach the recorder after the build so the trace covers only the
-	// measured operation (mirroring the metrics reset).
+	// measured operation (mirroring the metrics reset). With -trees > 1
+	// the op runs through the shard router; the per-shard recorders merge
+	// into rec in shard order, so the export stays deterministic.
 	rec := obs.New()
 	rec.SetModuleSampling(*sample)
-	tree.System().ResetMetrics()
-	tree.System().SetRecorder(rec)
-	tree.System().EnableTrace(0)
+	var tree *core.Tree
+	var idx *shard.Index
+	if *trees > 1 {
+		idx = shard.New(shard.Config{
+			Trees: *trees, Dims: 3, Machine: machine, Tuning: cfg.Tuning}, data)
+		idx.ResetMetrics()
+		idx.SetRecorder(rec)
+	} else {
+		tree = core.New(cfg, data)
+		tree.System().ResetMetrics()
+		tree.System().SetRecorder(rec)
+		tree.System().EnableTrace(0)
+	}
+	totals := func() pim.Metrics {
+		if idx != nil {
+			return idx.Metrics()
+		}
+		return tree.System().Metrics()
+	}
 
 	var elements int
 	switch *op {
 	case "search":
 		qs := workload.QueryPoints(*seed+1, data, *batch)
-		tree.Search(qs)
+		if idx != nil {
+			idx.SearchBatch(qs)
+		} else {
+			tree.Search(qs)
+		}
 		elements = len(qs)
 	case "insert":
 		pts := workload.QueryPoints(*seed+2, data, *batch)
-		tree.Insert(pts)
+		if idx != nil {
+			idx.InsertBatch(pts)
+		} else {
+			tree.Insert(pts)
+		}
 		elements = len(pts)
 	case "delete":
 		pts := data[:min(*batch, len(data))]
-		tree.Delete(pts)
+		if idx != nil {
+			idx.DeleteBatch(pts)
+		} else {
+			tree.Delete(pts)
+		}
 		elements = len(pts)
 	case "knn":
 		qs := workload.QueryPoints(*seed+3, data, *batch)
-		res := tree.KNN(qs, *k)
+		var res [][]core.Neighbor
+		if idx != nil {
+			res = idx.KNNBatch(qs, *k)
+		} else {
+			res = tree.KNN(qs, *k)
+		}
 		for _, ns := range res {
 			elements += len(ns)
 		}
 	case "boxcount":
 		boxes := workload.QueryBoxes(*seed+4, data, *batch, 10)
-		tree.BoxCount(boxes)
+		if idx != nil {
+			idx.BoxCountBatch(boxes)
+		} else {
+			tree.BoxCount(boxes)
+		}
 		elements = len(boxes)
 	case "boxfetch":
+		if idx != nil {
+			fmt.Fprintln(os.Stderr, "boxfetch is not routed through -trees; use -trees 1")
+			os.Exit(2)
+		}
 		boxes := workload.QueryBoxes(*seed+5, data, *batch, 10)
 		res := tree.BoxFetch(boxes)
 		for _, pts := range res {
@@ -170,8 +214,8 @@ func main() {
 		return
 	}
 
-	fmt.Fprintf(w, "%s over %s (n=%d, batch=%d, P=%d, %v)\n\n",
-		*op, *dataset, *n, *batch, *modules, cfg.Tuning)
+	fmt.Fprintf(w, "%s over %s (n=%d, batch=%d, trees=%d, P=%d/tree, %v)\n\n",
+		*op, *dataset, *n, *batch, max(*trees, 1), *modules, cfg.Tuning)
 	fmt.Fprintln(w, "spans:")
 	rec.WriteSpanTree(w)
 	fmt.Fprintln(w, "\nrounds:")
@@ -185,7 +229,7 @@ func main() {
 	fmt.Fprintln(w, "\ncounters:")
 	rec.WriteCounters(w)
 
-	m := tree.System().Metrics()
+	m := totals()
 	fmt.Fprintf(w, "\ntotals: %d rounds, %d B to PIM, %d B from PIM, %d elements\n",
 		m.Rounds, m.BytesToPIM, m.BytesFromPIM, elements)
 	fmt.Fprintf(w, "modeled time: CPU %.1fus + PIM %.1fus + comm %.1fus = %.1fus\n",

@@ -32,7 +32,20 @@ func pimDistCost(metric geom.Metric, dims uint8) int64 {
 // KNN returns the k nearest neighbors (exact, l2 metric) of each query,
 // each sorted by increasing distance.
 func (t *Tree) KNN(queries []geom.Point, k int) [][]Neighbor {
-	return t.KNNWithMetric(queries, k, geom.L2)
+	return t.knnWithMetric(queries, k, geom.L2, nil)
+}
+
+// KNNWithin answers kNN (l2) with a per-query inclusive cap on the
+// candidate sphere: only neighbors with Dist <= maxDist[i] are returned,
+// and every stored point within the cap that belongs to the true top-k
+// is guaranteed present (fewer than k results means nothing else lies
+// within the cap). Callers that already hold k candidates at distance b
+// ship b as the cap so the tree fetches only potential improvements —
+// without it, a query far from this tree's key region derives its sphere
+// from far-away stage-A candidates and stage-B degenerates into a scan.
+// The cross-shard fan-out is the motivating caller.
+func (t *Tree) KNNWithin(queries []geom.Point, k int, maxDist []uint64) [][]Neighbor {
+	return t.knnWithMetric(queries, k, geom.L2, maxDist)
 }
 
 // KNNWithMetric answers exact kNN under the given fine metric (distances
@@ -49,6 +62,12 @@ func (t *Tree) KNN(queries []geom.Point, k int) [][]Neighbor {
 // bound inflated by the metric's conversion factor, and the host applies
 // the exact fine metric to the survivors.
 func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]Neighbor {
+	return t.knnWithMetric(queries, k, fine, nil)
+}
+
+// knnWithMetric is the shared Alg. 3 implementation; caps, when non-nil,
+// bounds each query's sphere radius inclusively (see KNNWithin).
+func (t *Tree) knnWithMetric(queries []geom.Point, k int, fine geom.Metric, caps []uint64) [][]Neighbor {
 	out := make([][]Neighbor, len(queries))
 	if t.root == nil || k <= 0 {
 		return out
@@ -74,8 +93,40 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 			starts[i] = t.root
 		}
 	}
+	// Shipped caps seed the stage-A coarse bound (converted to the coarse
+	// metric, +1 so equality stays admissible): a capped query prunes its
+	// descent to the cap ball from the first wave instead of expanding
+	// unboundedly until k candidates accumulate — the difference between
+	// O(ball) and O(tree) for queries far from this tree's key region.
+	var seeds []uint64
+	if caps != nil {
+		seeds = make([]uint64, len(queries))
+		sd := math.Sqrt(float64(t.cfg.Dims))
+		for i, b := range caps {
+			if b == math.MaxUint64 {
+				seeds[i] = math.MaxUint64
+				continue
+			}
+			var s uint64
+			switch {
+			case coarse == fine:
+				s = b
+			case fine == geom.L2:
+				s = uint64(math.Ceil(math.Sqrt(float64(b)) * sd))
+			case fine == geom.LInf:
+				s = b * uint64(t.cfg.Dims)
+			default:
+				s = b
+			}
+			if s == math.MaxUint64 {
+				seeds[i] = s
+			} else {
+				seeds[i] = s + 1
+			}
+		}
+	}
 	rec.BeginPhase("stage-A-candidates")
-	cands := t.collectKCandidates(queries, starts, k, coarse)
+	cands := t.collectKCandidates(queries, starts, k, coarse, seeds)
 	rec.EndPhase()
 
 	// --- CPU: derive the candidate spheres (step 3 setup) ---
@@ -109,6 +160,19 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 			}
 		}
 		rF[i] = r
+	}
+	// A shipped cap bounds the sphere: the caller promises it needs no
+	// neighbor beyond caps[i] (inclusive), so a larger derived radius
+	// shrinks to the cap. The reverse edge matters too: a seeded stage A
+	// can return fewer than k candidates (nothing else within the cap
+	// ball of its start subtree), and then the cap itself — not the
+	// incomplete candidates' max — is the only sound radius.
+	if caps != nil {
+		for i := range rF {
+			if len(cands[i]) < k || caps[i] < rF[i] {
+				rF[i] = caps[i]
+			}
+		}
 	}
 	t.sys.CPUPhase(cpuWork, 0, 0)
 	rec.EndPhase()
@@ -175,6 +239,13 @@ func (t *Tree) KNNWithMetric(queries []geom.Point, k int, fine geom.Metric) [][]
 		// costs nothing extra and covers the k < |tree| < sphere edge.
 		arena = append(arena, cands[i]...)
 		ns := selectFinalNeighbors(arena, k, k+len(cands[i]))
+		if caps != nil {
+			// Stage-A candidates may lie beyond the shipped cap; they were
+			// only radius seeds, not results.
+			for len(ns) > 0 && ns[len(ns)-1].Dist > caps[i] {
+				ns = ns[:len(ns)-1]
+			}
+		}
 		res := make([]Neighbor, len(ns))
 		copy(res, ns)
 		out[i] = res
@@ -273,10 +344,16 @@ func (cs *candState) add(p geom.Point, d uint64, k int) {
 // collectKCandidates runs the stage-A push-pull descent: starting at each
 // query's N_q1, BSP waves walk the chunk DAG, each chunk contributing its
 // best (at most k) coarse candidates and its still-promising exits.
-func (t *Tree) collectKCandidates(queries []geom.Point, starts []*Node, k int, coarse geom.Metric) [][]Neighbor {
+// seeds, when non-nil, pre-tightens each query's coarse bound (exclusive)
+// before anything is found, so capped queries never expand nodes beyond
+// their shipped ball.
+func (t *Tree) collectKCandidates(queries []geom.Point, starts []*Node, k int, coarse geom.Metric, seeds []uint64) [][]Neighbor {
 	states := make([]*candState, len(queries))
 	for i := range states {
 		states[i] = newCandState(k)
+		if seeds != nil {
+			states[i].bound = seeds[i]
+		}
 	}
 	// Expand the CPU-resident L0 prefix of each start node.
 	frontier := t.frontierBuf[:0]

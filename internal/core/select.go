@@ -23,6 +23,12 @@ func lessByDistPoint(a, b Neighbor) bool {
 	return lessPoint(a.Point, b.Point)
 }
 
+// NeighborLess exposes the (distance, then coordinates) total order kNN
+// results are sorted under. Cross-tree result mergers (internal/shard)
+// must compare under the same order to reproduce single-tree output
+// exactly, ties included.
+func NeighborLess(a, b Neighbor) bool { return lessByDistPoint(a, b) }
+
 // insertionSortNeighbors sorts small slices in place.
 func insertionSortNeighbors(ns []Neighbor, less func(a, b Neighbor) bool) {
 	for i := 1; i < len(ns); i++ {

@@ -56,6 +56,50 @@ func PrefixBox(key uint64, prefixLen uint, dims uint8) geom.Box {
 	return geom.Box{Lo: lo, Hi: hi}
 }
 
+// blockMask returns a mask of the low free bits (free >= 64 saturates).
+func blockMask(free uint) uint64 {
+	if free >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<free - 1
+}
+
+// RangeBoxes decomposes the inclusive key range [lo, hi] into maximal
+// prefix-aligned blocks and returns their boxes, in key order. The boxes
+// tile exactly the points whose keys fall in [lo, hi]: a point is inside
+// one of them if and only if its key is in the range. A range needs at
+// most 2*KeyBits blocks (the CIDR-style greedy split: the largest aligned
+// block starting at lo that still ends at or before hi, repeated).
+//
+// This is the tight geometry of a Morton-contiguous shard. The single
+// PrefixBox of CommonPrefixLen(lo, hi) can degrade to the whole space
+// when the range straddles a high split bit, which would defeat distance
+// pruning entirely; the block decomposition never loosens.
+func RangeBoxes(lo, hi uint64, dims uint8) []geom.Box {
+	total := KeyBits(int(dims))
+	out := make([]geom.Box, 0, 8)
+	for {
+		// Largest aligned block at lo: limited by lo's alignment...
+		free := total
+		if lo != 0 {
+			if tz := uint(bits.TrailingZeros64(lo)); tz < free {
+				free = tz
+			}
+		}
+		// ...then shrunk until it ends at or before hi. lo is aligned to
+		// 2^free, so lo|mask is the block's last key (no overflow).
+		for free > 0 && lo|blockMask(free) > hi {
+			free--
+		}
+		out = append(out, PrefixBox(lo, total-free, dims))
+		end := lo | blockMask(free)
+		if end >= hi {
+			return out
+		}
+		lo = end + 1
+	}
+}
+
 // BitAt returns bit i (0 = least significant) of key as 0 or 1.
 func BitAt(key uint64, i uint) uint64 {
 	return key >> i & 1

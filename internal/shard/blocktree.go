@@ -1,0 +1,106 @@
+package shard
+
+import "pimzdtree/internal/geom"
+
+// blockTree is a tiny bounding-volume hierarchy over a shard's ordered
+// aligned-block tiling. The flat block list is exact but long (up to
+// 2*KeyBits blocks), and proving a *far* shard excludable means showing
+// every block is beyond the bound — a full scan per (query, shard) pair
+// that dominated the router's modeled cost at higher shard counts. The
+// hierarchy keeps the exclusion proof cheap: when the kNN bound is small
+// (the common case after the home-shard pass), the root bounding box
+// alone rejects most foreign shards in one distance test, and near the
+// shard boundary the descent only opens subtrees the bound cannot rule
+// out.
+//
+// Nodes are stored post-order in a flat slice — children before parents,
+// root last — so building is a single append pass and descent needs no
+// pointers.
+type blockNode struct {
+	bbox        geom.Box
+	left, right int32 // children; -1 on leaves (bbox is then the block itself)
+}
+
+type blockTree struct {
+	nodes []blockNode
+}
+
+// buildBlockTree builds the hierarchy over the blocks in range order.
+// Splitting at the midpoint of the ordered list keeps siblings spatially
+// coherent: consecutive Morton blocks tile consecutive key intervals.
+func buildBlockTree(blocks []geom.Box) blockTree {
+	bt := blockTree{nodes: make([]blockNode, 0, 2*len(blocks))}
+	if len(blocks) > 0 {
+		bt.build(blocks)
+	}
+	return bt
+}
+
+func (bt *blockTree) build(blocks []geom.Box) int32 {
+	if len(blocks) == 1 {
+		bt.nodes = append(bt.nodes, blockNode{bbox: blocks[0], left: -1, right: -1})
+		return int32(len(bt.nodes) - 1)
+	}
+	mid := len(blocks) / 2
+	l := bt.build(blocks[:mid])
+	r := bt.build(blocks[mid:])
+	bt.nodes = append(bt.nodes, blockNode{
+		bbox:  bt.nodes[l].bbox.Union(bt.nodes[r].bbox),
+		left:  l,
+		right: r,
+	})
+	return int32(len(bt.nodes) - 1)
+}
+
+// withinDist reports whether any block lies within squared-l2 distance
+// bound of q (ties included). checked counts box-distance evaluations,
+// for host-cost accounting.
+func (bt *blockTree) withinDist(q geom.Point, bound uint64) (hit bool, checked int) {
+	if len(bt.nodes) == 0 {
+		return false, 0
+	}
+	var stack [64]int32
+	sp := 0
+	stack[sp] = int32(len(bt.nodes) - 1)
+	sp++
+	for sp > 0 {
+		sp--
+		n := &bt.nodes[stack[sp]]
+		checked++
+		if n.bbox.DistL2SqTo(q) > bound {
+			continue
+		}
+		if n.left < 0 {
+			return true, checked
+		}
+		stack[sp] = n.left
+		stack[sp+1] = n.right
+		sp += 2
+	}
+	return false, checked
+}
+
+// intersects reports whether box b intersects any block.
+func (bt *blockTree) intersects(b geom.Box) bool {
+	if len(bt.nodes) == 0 {
+		return false
+	}
+	var stack [64]int32
+	sp := 0
+	stack[sp] = int32(len(bt.nodes) - 1)
+	sp++
+	for sp > 0 {
+		sp--
+		n := &bt.nodes[stack[sp]]
+		if !n.bbox.Intersects(b) {
+			continue
+		}
+		if n.left < 0 {
+			return true
+		}
+		stack[sp] = n.left
+		stack[sp+1] = n.right
+		sp += 2
+	}
+	return false
+}

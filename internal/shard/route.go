@@ -1,0 +1,278 @@
+package shard
+
+import (
+	"math/bits"
+
+	"pimzdtree/internal/core"
+	"pimzdtree/internal/geom"
+	"pimzdtree/internal/morton"
+	"pimzdtree/internal/parallel"
+)
+
+// Batch routing: one counting pass splits a batch into per-shard
+// segments. Point i's destination is the shard whose key range contains
+// its Morton key; the scatter is stable, so each shard sees its
+// sub-batch in original batch order and the whole pass is deterministic
+// regardless of how many workers computed the keys.
+
+const routePointBytes = 16 // key + packed coordinates, mirrors core's pointBytes
+
+// route partitions pts into shard segments. Returns the scattered points
+// (segment s at [offs[s], offs[s+1])) and each scattered point's original
+// batch position. The returned slices alias Index scratch — valid until
+// the next route call.
+func (x *Index) route(pts []geom.Point) (flat []geom.Point, idx []int32, offs []int) {
+	s := len(x.sh)
+	n := len(pts)
+	if cap(x.ids) < n {
+		x.ids = make([]int32, n)
+		x.scatterPts = make([]geom.Point, n)
+		x.scatterIdx = make([]int32, n)
+	}
+	if cap(x.counts) < s+1 {
+		x.counts = make([]int, s+1)
+		x.offs = make([]int, s+1)
+	}
+	ids := x.ids[:n]
+	parallel.For(n, func(i int) {
+		ids[i] = int32(findShard(x.cuts, morton.EncodePoint(pts[i])))
+	})
+	counts := x.counts[:s]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, id := range ids {
+		counts[id]++
+	}
+	offs = x.offs[:s+1]
+	pos := 0
+	for i, c := range counts {
+		offs[i] = pos
+		pos += c
+	}
+	offs[s] = pos
+	flat = x.scatterPts[:n]
+	idx = x.scatterIdx[:n]
+	next := counts // reuse as running cursors
+	copy(next, offs[:s])
+	for i, id := range ids {
+		at := next[id]
+		next[id]++
+		flat[at] = pts[i]
+		idx[at] = int32(i)
+	}
+	return flat, idx, offs
+}
+
+// chargeRoute prices the routing pass on the host: one z-encode plus a
+// log2(S) cut search per point, and one streaming scatter pass over the
+// batch (read + write).
+func (x *Index) chargeRoute(n int) {
+	if x.router == nil || n == 0 {
+		return
+	}
+	work := int64(n) * (morton.CostFast(x.cfg.Dims) + int64(bits.Len(uint(len(x.sh)-1))))
+	x.router.CPUPhase(work, int64(n)*2*routePointBytes, 0)
+}
+
+// forEach runs fn for every non-empty segment, fork-join across shards.
+func (x *Index) forEach(flat []geom.Point, offs []int, fn func(s int, seg []geom.Point)) {
+	parallel.For(len(x.sh), func(s int) {
+		if seg := flat[offs[s]:offs[s+1]]; len(seg) > 0 {
+			fn(s, seg)
+		}
+	})
+}
+
+// mergeWindows drains every shard recorder into the parent recorder in
+// shard order — the deterministic merge that keeps exports byte-identical
+// at any GOMAXPROCS.
+func (x *Index) mergeWindows() {
+	if !x.cfg.Obs.Enabled() {
+		return
+	}
+	for _, sh := range x.sh {
+		x.cfg.Obs.MergeWindow(sh.rec.TakeWindow())
+	}
+}
+
+// searchTree answers exact point membership against one tree: batch
+// search to the terminal node, then a host-side check that the terminal
+// leaf actually stores the queried point (mirrors serve.TreeBackend).
+func searchTree(t *core.Tree, pts []geom.Point) []bool {
+	found := make([]bool, len(pts))
+	if t.Size() == 0 {
+		return found
+	}
+	res := t.Search(pts)
+	for i, r := range res {
+		term := r.Terminal
+		if term == nil || !term.IsLeaf() {
+			continue
+		}
+		key := morton.EncodePoint(pts[i])
+		for j, k := range term.Keys {
+			if k == key && term.Pts[j].Equal(pts[i]) {
+				found[i] = true
+				break
+			}
+		}
+	}
+	return found
+}
+
+// SearchBatch answers point membership for the batch across all shards.
+func (x *Index) SearchBatch(pts []geom.Point) []bool {
+	if t := x.single(); t != nil {
+		x.mu.Lock()
+		defer x.mu.Unlock()
+		return searchTree(t, pts)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]bool, len(pts))
+	if len(pts) == 0 {
+		return out
+	}
+	rec := x.cfg.Obs
+	rec.BeginOp("search")
+	flat, idx, offs := x.route(pts)
+	x.chargeRoute(len(pts))
+	results := make([][]bool, len(x.sh))
+	x.forEach(flat, offs, func(s int, seg []geom.Point) {
+		results[s] = searchTree(x.sh[s].tree, seg)
+	})
+	x.mergeWindows()
+	rec.EndOp()
+	for s, r := range results {
+		for j, v := range r {
+			out[idx[offs[s]+j]] = v
+		}
+	}
+	return out
+}
+
+// InsertBatch routes the batch to its shards, applies the per-shard
+// inserts in parallel, runs the epoch-boundary rebalance check, and then
+// publishes the new epoch.
+func (x *Index) InsertBatch(pts []geom.Point) {
+	if t := x.single(); t != nil {
+		x.mu.Lock()
+		defer x.mu.Unlock()
+		t.Insert(pts)
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if len(pts) > 0 {
+		rec := x.cfg.Obs
+		rec.BeginOp("insert")
+		flat, _, offs := x.route(pts)
+		x.chargeRoute(len(pts))
+		x.forEach(flat, offs, func(s int, seg []geom.Point) {
+			x.sh[s].tree.Insert(seg)
+		})
+		x.mergeWindows()
+		rec.EndOp()
+	}
+	x.maybeRebalance()
+	x.epoch.Add(1)
+}
+
+// DeleteBatch routes the batch to its shards and applies the per-shard
+// deletes in parallel; like InsertBatch it checks for rebalancing and
+// publishes a new epoch.
+func (x *Index) DeleteBatch(pts []geom.Point) {
+	if t := x.single(); t != nil {
+		x.mu.Lock()
+		defer x.mu.Unlock()
+		t.Delete(pts)
+		return
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if len(pts) > 0 {
+		rec := x.cfg.Obs
+		rec.BeginOp("delete")
+		flat, _, offs := x.route(pts)
+		x.chargeRoute(len(pts))
+		x.forEach(flat, offs, func(s int, seg []geom.Point) {
+			x.sh[s].tree.Delete(seg)
+		})
+		x.mergeWindows()
+		rec.EndOp()
+	}
+	x.maybeRebalance()
+	x.epoch.Add(1)
+}
+
+// boxCountTree counts per-box stored points on one tree (empty-safe).
+func boxCountTree(t *core.Tree, boxes []geom.Box) []int64 {
+	if t.Size() == 0 {
+		return make([]int64, len(boxes))
+	}
+	return t.BoxCount(boxes)
+}
+
+// BoxCountBatch counts stored points per box. Each box fans out only to
+// shards whose key range can intersect it (some aligned block of the
+// range overlaps the box) — the minimal shard cover, since the blocks
+// tile exactly the shard's keys — and the per-shard counts sum (a point
+// lives in exactly one shard).
+func (x *Index) BoxCountBatch(boxes []geom.Box) []int64 {
+	if t := x.single(); t != nil {
+		x.mu.Lock()
+		defer x.mu.Unlock()
+		return boxCountTree(t, boxes)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]int64, len(boxes))
+	if len(boxes) == 0 {
+		return out
+	}
+	rec := x.cfg.Obs
+	rec.BeginOp("box-count")
+	subBoxes := make([][]geom.Box, len(x.sh))
+	subIdx := make([][]int32, len(x.sh))
+	for i, b := range boxes {
+		for s, sh := range x.sh {
+			if sh.tree.Size() > 0 && sh.intersects(b) {
+				subBoxes[s] = append(subBoxes[s], b)
+				subIdx[s] = append(subIdx[s], int32(i))
+			}
+		}
+	}
+	if x.router != nil {
+		// Cover computation: block-box tests per query box per shard.
+		x.router.CPUPhase(int64(len(boxes))*int64(len(x.sh))*4, 0, 0)
+	}
+	counts := make([][]int64, len(x.sh))
+	parallel.For(len(x.sh), func(s int) {
+		if len(subBoxes[s]) > 0 {
+			counts[s] = boxCountTree(x.sh[s].tree, subBoxes[s])
+		}
+	})
+	x.mergeWindows()
+	rec.EndOp()
+	for s, cs := range counts {
+		for j, c := range cs {
+			out[subIdx[s][j]] += c
+		}
+	}
+	return out
+}
+
+// BoxCover returns the shard indices a query box fans out to — exposed
+// for the minimal-cover property test.
+func (x *Index) BoxCover(b geom.Box) []int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var cover []int
+	for s, sh := range x.sh {
+		if sh.tree.Size() > 0 && sh.intersects(b) {
+			cover = append(cover, s)
+		}
+	}
+	return cover
+}

@@ -179,10 +179,25 @@ func checkBench(path string) error {
 		if p.Seconds <= 0 {
 			return fmt.Errorf("panel %d (%s): non-positive seconds", i, p.Experiment)
 		}
-		// Phase breakdowns are optional per panel, but the fig6 panel must
-		// carry them: it is the update-path trajectory entry.
+		// Phase breakdowns are optional per panel, but two panels must
+		// carry them: fig6 (the update-path trajectory entry) and
+		// shardscale (its scale_s/scale_n/storm sections are only
+		// distinguishable through the phase list).
 		if p.Experiment == "fig6" && len(p.Phases) == 0 {
 			return fmt.Errorf("panel %d (fig6): missing phase breakdown", i)
+		}
+		if p.Experiment == "shardscale" {
+			want := map[string]bool{"scale_s": false, "scale_n": false, "storm": false}
+			for _, ph := range p.Phases {
+				if _, ok := want[ph.Name]; ok {
+					want[ph.Name] = true
+				}
+			}
+			for name, seen := range want {
+				if !seen {
+					return fmt.Errorf("panel %d (shardscale): missing %q phase", i, name)
+				}
+			}
 		}
 		for j, ph := range p.Phases {
 			if ph.Name == "" {
