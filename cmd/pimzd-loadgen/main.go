@@ -3,6 +3,14 @@
 // single-point workload and report achieved throughput, shed rate, and
 // end-to-end latency quantiles (p50/p99/p999) as JSON on stdout.
 //
+// Before starting, the generator polls the target's /readyz until it
+// answers 200 (bounded by -ready-timeout), so races against a server
+// still warming up fail with a clear "never became ready" error instead
+// of a pile of connection refusals. Every request carries a client
+// request ID; the server echoes its pipeline stage decomposition back
+// with the response, and the report aggregates those into per-op
+// server-side stage-latency summaries (op_stages).
+//
 // It is the network-path counterpart of the in-process saturation bench
 // (pimzd-bench -experiment saturate): use this to smoke the full client
 // path — JSON decode, intake, coalescing, epoch execution, response
@@ -31,6 +39,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -52,6 +61,47 @@ type workerStats struct {
 	errs      int
 	lastErr   string
 	latencies []float64
+	stages    map[string]*stageAgg
+}
+
+// stageAgg accumulates the server-echoed stage decomposition for one op.
+type stageAgg struct {
+	count int
+	sums  [serve.NumStages]float64
+}
+
+// note records one echoed decomposition (skipped when the server sent
+// none — all-zero stages on a completed request).
+func (s *workerStats) note(r *serve.Request) {
+	var total int64
+	for _, ns := range r.Resp.StageNanos {
+		total += ns
+	}
+	if total == 0 {
+		return
+	}
+	if s.stages == nil {
+		s.stages = make(map[string]*stageAgg)
+	}
+	op := r.Op.String()
+	agg := s.stages[op]
+	if agg == nil {
+		agg = &stageAgg{}
+		s.stages[op] = agg
+	}
+	agg.count++
+	for i, ns := range r.Resp.StageNanos {
+		agg.sums[i] += float64(ns) / 1e9
+	}
+}
+
+// stageSummary is the per-op server-side stage-latency block in the
+// report: mean seconds per pipeline stage over requests that echoed a
+// decomposition.
+type stageSummary struct {
+	Count            int                `json:"count"`
+	MeanSeconds      map[string]float64 `json:"mean_seconds"`
+	TotalMeanSeconds float64            `json:"total_mean_seconds"`
 }
 
 // report is the stdout JSON.
@@ -68,6 +118,11 @@ type report struct {
 	P50         float64 `json:"p50_seconds"`
 	P99         float64 `json:"p99_seconds"`
 	P999        float64 `json:"p999_seconds"`
+
+	// OpStages holds per-op server-side stage-latency summaries built
+	// from the stage decompositions the server echoes for requests that
+	// carry a client request ID.
+	OpStages map[string]stageSummary `json:"op_stages,omitempty"`
 }
 
 // client sends one request and reports (shed, error).
@@ -87,6 +142,9 @@ func (h *httpClient) close() {}
 func (h *httpClient) do(r *serve.Request) (bool, error) {
 	var path string
 	body := map[string]any{}
+	if r.ID != 0 {
+		body["id"] = r.ID
+	}
 	switch r.Op {
 	case serve.OpSearch:
 		path = "/v1/search"
@@ -123,19 +181,62 @@ func (h *httpClient) do(r *serve.Request) (bool, error) {
 		return false, err
 	}
 	defer resp.Body.Close()
-	var sink [512]byte
-	for {
-		if _, err := resp.Body.Read(sink[:]); err != nil {
-			break
-		}
-	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
+		// Recover the server's stage echo (requests with an ID only);
+		// decode failures are ignored — the request itself succeeded.
+		var hr struct {
+			StageSeconds map[string]float64 `json:"stage_seconds"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err == nil && r.ID != 0 {
+			for s, name := range serve.StageNames {
+				r.Resp.StageNanos[s] = int64(hr.StageSeconds[name] * 1e9)
+			}
+		}
+		drain(resp.Body)
 		return false, nil
 	case resp.StatusCode == http.StatusServiceUnavailable:
+		drain(resp.Body)
 		return true, nil
 	default:
+		drain(resp.Body)
 		return false, fmt.Errorf("http %s: status %d", path, resp.StatusCode)
+	}
+}
+
+// drain consumes the rest of a response body so the connection is reused.
+func drain(r io.Reader) {
+	var sink [512]byte
+	for {
+		if _, err := r.Read(sink[:]); err != nil {
+			return
+		}
+	}
+}
+
+// waitReady polls the target's /readyz until it answers 200, bounded by
+// timeout. The returned error names the last readiness failure so a
+// target that never comes up is diagnosable from the loadgen side alone.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	c := &http.Client{Timeout: 2 * time.Second}
+	last := "no response yet"
+	for {
+		resp, err := c.Get(base + "/readyz")
+		if err != nil {
+			last = err.Error()
+		} else {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("target %s never became ready within %s (last /readyz: %s)", base, timeout, last)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 
@@ -170,6 +271,7 @@ func main() {
 		mix      = flag.String("mix", "search=70,insert=15,delete=5,knn=8,box=2", "op weights")
 		k        = flag.Int("k", 8, "k for knn requests")
 		zipf     = flag.Float64("zipf", 0, "Zipfian query-key skew exponent (> 1; 0 = uniform). Ranks the pool by Morton key, so hot keys concentrate on the low-prefix shard of a -trees server")
+		readyFor = flag.Duration("ready-timeout", 30*time.Second, "wait this long for the target's /readyz before starting (0 = skip the readiness check)")
 	)
 	flag.Parse()
 	if *zipf != 0 && *zipf <= 1 {
@@ -214,6 +316,13 @@ func main() {
 			sorted[i] = pool[j]
 		}
 		pool = sorted
+	}
+
+	if *readyFor > 0 {
+		if err := waitReady("http://"+*httpAddr, *readyFor); err != nil {
+			fmt.Fprintf(os.Stderr, "pimzd-loadgen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	nTCP := 0
@@ -271,6 +380,10 @@ func main() {
 					next = next.Add(interval)
 				}
 				r := makeRequest(opMix, rng, pick, boxes)
+				// Nonzero per-worker IDs make the server echo the stage
+				// decomposition and make outliers greppable in its
+				// /snapshot/slowrequests capture.
+				r.ID = uint64(w)<<32 | uint64(i) + 1
 				t0 := time.Now()
 				shed, err := cl.do(r)
 				switch {
@@ -285,6 +398,7 @@ func main() {
 				default:
 					stats[w].completed++
 					stats[w].latencies = append(stats[w].latencies, time.Since(t0).Seconds())
+					stats[w].note(r)
 				}
 			}
 		}(w)
@@ -294,6 +408,7 @@ func main() {
 
 	rep := report{Workers: *workers, HTTPWorkers: nHTTP, TCPWorkers: nTCP, Seconds: elapsed}
 	var all []float64
+	merged := map[string]*stageAgg{}
 	for _, s := range stats {
 		rep.Completed += s.completed
 		rep.Shed += s.shed
@@ -302,6 +417,29 @@ func main() {
 			rep.LastError = s.lastErr
 		}
 		all = append(all, s.latencies...)
+		for op, agg := range s.stages {
+			m := merged[op]
+			if m == nil {
+				m = &stageAgg{}
+				merged[op] = m
+			}
+			m.count += agg.count
+			for i := range m.sums {
+				m.sums[i] += agg.sums[i]
+			}
+		}
+	}
+	if len(merged) > 0 {
+		rep.OpStages = make(map[string]stageSummary, len(merged))
+		for op, agg := range merged {
+			sum := stageSummary{Count: agg.count, MeanSeconds: make(map[string]float64, serve.NumStages)}
+			for i, name := range serve.StageNames {
+				mean := agg.sums[i] / float64(agg.count)
+				sum.MeanSeconds[name] = mean
+				sum.TotalMeanSeconds += mean
+			}
+			rep.OpStages[op] = sum
+		}
 	}
 	rep.AchievedRPS = float64(rep.Completed) / elapsed
 	sort.Float64s(all)

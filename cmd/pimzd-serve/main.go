@@ -18,11 +18,16 @@
 //
 //	/metrics                  Prometheus text exposition v0.0.4: modeled
 //	                          tree counters plus Wall-marked serving
-//	                          families — per-request latency histograms,
-//	                          intake queue depth, epoch occupancy, shed
-//	                          counters (?modeled=1 for the deterministic
-//	                          subset, ?exemplars=1 for trace exemplars)
-//	/healthz                  health probe (ok once the warmup build finished)
+//	                          families — per-request latency and per-stage
+//	                          histograms, intake queue depth, epoch
+//	                          occupancy, shed counters, SLO burn rates
+//	                          (?modeled=1 for the deterministic subset,
+//	                          ?exemplars=1 for trace exemplars)
+//	/healthz                  liveness probe (ok as soon as the admin
+//	                          listener is up, even while warming)
+//	/readyz                   readiness probe (503 until the warmup build
+//	                          published and the engine accepts requests;
+//	                          503 again once shutdown begins)
 //	/snapshot/tree            JSON structural tree statistics
 //	/snapshot/modules         JSON per-module cumulative load heatmap
 //	                          (with -trees S: S racks concatenated in
@@ -31,6 +36,12 @@
 //	                          migration counters (-trees > 1 only)
 //	/snapshot/flightrecorder  JSON per-op flight-recorder dump
 //	/snapshot/slowops         JSON slow-op records with full round detail
+//	/snapshot/slowrequests    JSON slow-request capture: per-request stage
+//	                          decomposition, flight trace IDs, cross-shard
+//	                          fan-out spans (feed to
+//	                          `pimzd-trace analyze -requests`)
+//	/snapshot/slo             JSON SLO status: rolling 1m/5m/1h error and
+//	                          burn rates per latency objective
 //	/debug/pprof/             Go runtime profiles
 //
 // SIGINT/SIGTERM shut the server down gracefully: intake closes (new
@@ -59,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -143,6 +155,66 @@ func (l *lockedBackend) BoxCountBatch(boxes []geom.Box) []int64 {
 	return l.b.BoxCountBatch(boxes)
 }
 func (l *lockedBackend) Epoch() uint64 { return l.b.Epoch() }
+
+// fanoutBackend is a lockedBackend whose inner backend reports fan-out;
+// it forwards TakeFanout so the engine's FanoutSource type-assertion sees
+// the capability through the locking wrapper. (The inner index serializes
+// TakeFanout itself, and the engine calls it from the same executor
+// goroutine that just ran the batch, so the snapshot lock is not needed.)
+type fanoutBackend struct {
+	*lockedBackend
+	fs serve.FanoutSource
+}
+
+func (l *fanoutBackend) TakeFanout() *obs.FanoutReport { return l.fs.TakeFanout() }
+
+// lazyHandler answers 503 until the real handler is published — the admin
+// listener comes up before the warmup build so probes can watch it.
+type lazyHandler struct{ h atomic.Pointer[http.Handler] }
+
+func (l *lazyHandler) set(h http.Handler) { l.h.Store(&h) }
+func (l *lazyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if hp := l.h.Load(); hp != nil {
+		(*hp).ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "warming up", http.StatusServiceUnavailable)
+}
+
+// parseSLO parses "op=millis:target,..." into SLO objectives.
+func parseSLO(spec string) ([]metrics.SLOObjective, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var objs []metrics.SLOObjective
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q: want op=millis:target", part)
+		}
+		ms, tgt, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("%q: want op=millis:target", part)
+		}
+		lat, err := strconv.ParseFloat(ms, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q: bad millis: %v", part, err)
+		}
+		target, err := strconv.ParseFloat(tgt, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q: bad target: %v", part, err)
+		}
+		objs = append(objs, metrics.SLOObjective{
+			Op: strings.TrimSpace(op), LatencySeconds: lat / 1e3, Target: target,
+		})
+	}
+	return objs, nil
+}
 
 // builtIndex is one constructed tree plus its admin hooks.
 type builtIndex struct {
@@ -300,6 +372,13 @@ func main() {
 		slowK        = flag.Int("slow-k", 16, "retained slow-op records")
 		flightOut    = flag.String("flight-out", "", "write the final flight-recorder dump (JSON) to this file on exit")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful drain deadline on shutdown (engine, TCP, admin each)")
+
+		reqSlowMs   = flag.Float64("req-slow-ms", 0, "capture requests whose total wall time reaches this many milliseconds (0 = top-K by latency)")
+		reqSlowK    = flag.Int("req-slow-k", 16, "retained slow-request records (0 disables slow-request capture)")
+		requestsOut = flag.String("requests-out", "", "write the final slow-request dump (JSON) to this file on exit")
+		sloSpec     = flag.String("slo", "search=50:0.99,insert=50:0.99,delete=50:0.99,knn=100:0.99,box=100:0.99",
+			"latency SLOs as op=millis:target, comma-separated (empty disables SLO tracking)")
+		fanoutOn = flag.Bool("fanout", true, "capture per-request cross-shard fan-out spans (-trees > 1)")
 	)
 	flag.Parse()
 
@@ -353,6 +432,24 @@ func main() {
 		})
 		rec.SetFlight(fr)
 	}
+	// Request-lifecycle tracing and SLO burn-rate tracking.
+	var reqTracer *serve.RequestTracer
+	if *reqSlowK > 0 {
+		reqTracer = serve.NewRequestTracer(serve.RequestTraceConfig{
+			SlowWallSeconds: *reqSlowMs / 1e3,
+			SlowK:           *reqSlowK,
+		})
+	}
+	objectives, err := parseSLO(*sloSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimzd-serve: -slo: %v\n", err)
+		os.Exit(2)
+	}
+	var slo *metrics.SLOTracker
+	if len(objectives) > 0 {
+		slo = metrics.NewSLOTracker(metrics.SLOConfig{Objectives: objectives, Registry: reg})
+	}
+
 	// The high-range wall bucket ladder keeps saturated-queue latencies
 	// (seconds to minutes) resolvable instead of collapsing into +Inf.
 	wallSeconds := reg.NewHistogramVec(metrics.HistogramOpts{Opts: metrics.Opts{
@@ -361,16 +458,101 @@ func main() {
 		Wall: true, Label: "op"}, Buckets: metrics.WallSecondsBuckets()})
 	uptime := reg.NewGauge(metrics.Opts{Name: "pimzd_uptime_seconds",
 		Help: "Wall-clock seconds since the server started.", Wall: true})
+	procUptime := reg.NewCounter(metrics.Opts{Name: "pimzd_process_uptime_seconds",
+		Help: "Wall-clock seconds the process has been up (monotone).", Wall: true})
+	buildInfo := reg.NewLabeledGauge(metrics.Opts{Name: "pimzd_build_info",
+		Help: "Build and configuration identity (value is always 1).", Wall: true},
+		[]string{"go_version", "engine", "trees"},
+		[]string{runtime.Version(), *engName, strconv.Itoa(*trees)})
+	buildInfo.Set(1)
+
+	// The admin listener comes up before the warmup build: /healthz
+	// answers immediately (the process is alive), /readyz and the lazy
+	// API handlers answer 503 until the index is published, so probes and
+	// load generators can poll instead of retrying connection errors.
+	var ready atomic.Bool
+	var engPtr atomic.Pointer[serve.Engine]
+
+	// idx and locked are written before ready.Store(true); every admin
+	// read is gated on ready.Load(), which orders the accesses.
+	var idx builtIndex
+	var locked *lockedBackend
+
+	apiH := &lazyHandler{}
+	extra := map[string]http.Handler{"/v1/": apiH}
+	shardsH := &lazyHandler{}
+	if *trees > 1 {
+		extra["/snapshot/shards"] = shardsH
+	}
+	extra["/snapshot/slowrequests"] = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if !reqTracer.Enabled() {
+			http.Error(w, "slow-request capture not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := reqTracer.WriteJSON(w); err != nil {
+			fmt.Fprintf(os.Stderr, "pimzd-serve: slowrequests: %v\n", err)
+		}
+	})
+
+	srv, err := metrics.StartAdmin(*addr, metrics.AdminConfig{
+		Registry: reg,
+		TreeStats: func() any {
+			if !ready.Load() {
+				return struct{}{}
+			}
+			locked.mu.Lock()
+			defer locked.mu.Unlock()
+			return idx.stats()
+		},
+		ModuleLoads: func() (cycles, bytes []int64) {
+			if !ready.Load() || idx.moduleLoads == nil {
+				return nil, nil
+			}
+			return idx.moduleLoads()
+		},
+		Flight: fr,
+		SLO:    slo,
+		Health: func() error { return nil }, // alive once listening
+		Ready: func() error {
+			if !ready.Load() {
+				return fmt.Errorf("warmup build not published")
+			}
+			if e := engPtr.Load(); e == nil || e.Stats().ShuttingDown {
+				return fmt.Errorf("engine not accepting requests")
+			}
+			return nil
+		},
+		Extra: extra,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pimzd-serve: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("pimzd-serve: admin+api on http://%s (engine=%s mode=%s dataset=%s n=%d batch=%d)\n",
+		srv.Addr(), *engName, schedMode, *dataset, *n, *batch)
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pimzd-serve: port-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	// Build the index, then put the serving engine in front of it: from
 	// here on the engine's executor goroutine is the only tree caller.
 	pool := ds.Generate(*seed, *n+8**batch, uint8(*dims))
 	warm := pool[:*n]
 	stream := pool[*n:]
-	idx := buildIndex(*engName, *trees, uint8(*dims), *modules, tun, rec, warm)
-	locked := &lockedBackend{b: idx.backend}
+	idx = buildIndex(*engName, *trees, uint8(*dims), *modules, tun, rec, warm)
+	locked = &lockedBackend{b: idx.backend}
+	var backend serve.Backend = locked
+	if idx.shards != nil && *fanoutOn {
+		idx.shards.SetFanoutCapture(true)
+		backend = &fanoutBackend{lockedBackend: locked, fs: idx.shards}
+	}
 	eng := serve.New(serve.Config{
-		Backend:      locked,
+		Backend:      backend,
 		Mode:         schedMode,
 		Shards:       *shards,
 		MaxQueuedOps: *queueOps,
@@ -378,15 +560,16 @@ func main() {
 		MaxK:         max(128, *k),
 		Registry:     reg,
 		Flight:       fr,
+		Requests:     reqTracer,
+		SLO:          slo,
 	})
-	var ready atomic.Bool
-	ready.Store(true)
+	engPtr.Store(eng)
+	apiH.set(serve.NewHTTPHandler(eng))
 
 	// Per-shard metrics families and the /snapshot/shards layout snapshot
 	// (sharded runs only; with -trees 1 the exposition is byte-identical
 	// to the unsharded server). Wall-marked: the values derive from the
 	// deterministic model, but the update cadence is wall-driven.
-	extra := map[string]http.Handler{"/v1/": serve.NewHTTPHandler(eng)}
 	updateShardMetrics := func() {}
 	if idx.shards != nil {
 		shardPoints := reg.NewGaugeVec(metrics.Opts{Name: "pimzd_shard_points",
@@ -411,52 +594,36 @@ func main() {
 			shardMig.SetTotal(float64(st.MigratedPoints))
 		}
 		updateShardMetrics()
-		extra["/snapshot/shards"] = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		shardsH.set(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			if err := json.NewEncoder(w).Encode(idx.shards.Stats()); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
-		})
+		}))
 	}
+	ready.Store(true)
 
-	srv, err := metrics.StartAdmin(*addr, metrics.AdminConfig{
-		Registry: reg,
-		TreeStats: func() any {
-			if !ready.Load() {
-				return struct{}{}
+	// Wall-cadence publisher: process uptime ticks and SLO window gauges
+	// refresh once a second, independent of workload batch cadence.
+	procStart := time.Now()
+	procUptime.SetTotal(0)
+	slo.PublishGauges()
+	tickDone := make(chan struct{})
+	defer close(tickDone)
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tickDone:
+				return
+			case <-tick.C:
+				procUptime.SetTotal(time.Since(procStart).Seconds())
+				slo.PublishGauges()
 			}
-			locked.mu.Lock()
-			defer locked.mu.Unlock()
-			return idx.stats()
-		},
-		ModuleLoads: func() (cycles, bytes []int64) {
-			if idx.moduleLoads == nil {
-				return nil, nil
-			}
-			return idx.moduleLoads()
-		},
-		Flight: fr,
-		Health: func() error {
-			if !ready.Load() {
-				return fmt.Errorf("warming up")
-			}
-			return nil
-		},
-		Extra: extra,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pimzd-serve: %v\n", err)
-		os.Exit(1)
-	}
-	defer srv.Close()
-	fmt.Printf("pimzd-serve: admin+api on http://%s (engine=%s mode=%s dataset=%s n=%d batch=%d)\n",
-		srv.Addr(), *engName, schedMode, *dataset, *n, *batch)
-	if *portFile != "" {
-		if err := os.WriteFile(*portFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pimzd-serve: port-file: %v\n", err)
-			os.Exit(1)
 		}
-	}
+	}()
+
 	var tcpSrv *serve.TCPServer
 	if *tcpAddr != "" {
 		tcpSrv, err = serve.ServeTCP(*tcpAddr, eng)
@@ -558,6 +725,7 @@ func main() {
 		}
 		uptime.Set(time.Since(start).Seconds())
 		updateShardMetrics()
+		slo.PublishGauges()
 		if *pause > 0 {
 			select {
 			case <-ctx.Done():
@@ -602,6 +770,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("pimzd-serve: flight dump written to %s\n", *flightOut)
+	}
+	if *requestsOut != "" && reqTracer.Enabled() {
+		f, err := os.Create(*requestsOut)
+		if err == nil {
+			err = reqTracer.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimzd-serve: requests-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pimzd-serve: slow-request dump written to %s\n", *requestsOut)
 	}
 	if err := srv.Shutdown(*drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "pimzd-serve: shutdown: %v\n", err)

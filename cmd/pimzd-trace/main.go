@@ -18,7 +18,11 @@
 // -flight-out, pimzd-bench -flight-out, or /snapshot/flightrecorder) and
 // prints the deterministic critical-path report: per-op-type p50/p99
 // attribution to CPU/PIM/comm, the top straggler modules, and the per-op
-// round-imbalance ranking.
+// round-imbalance ranking. With -requests the input is a slow-request
+// dump instead (pimzd-serve -requests-out or /snapshot/slowrequests) and
+// the report is the request-lifecycle view: per-op stage-latency
+// quantiles with the dominant pipeline stage, plus the top cross-shard
+// fan-out offenders with their costliest shard.
 //
 // Usage:
 //
@@ -27,6 +31,7 @@
 //	pimzd-trace -op search -profile modules -sample 4
 //	pimzd-trace analyze flight.json
 //	pimzd-trace analyze -top 20 -out report.txt flight.json
+//	pimzd-trace analyze -requests requests.json
 package main
 
 import (
@@ -40,6 +45,7 @@ import (
 	"pimzdtree/internal/costmodel"
 	"pimzdtree/internal/obs"
 	"pimzdtree/internal/pim"
+	"pimzdtree/internal/serve"
 	"pimzdtree/internal/shard"
 	"pimzdtree/internal/workload"
 )
@@ -239,15 +245,19 @@ func main() {
 	}
 }
 
-// analyzeMain implements `pimzd-trace analyze [-top N] [-out file] <dump>`:
-// the critical-path report over a flight-recorder dump. The report reads
-// only modeled fields, so it is byte-identical across runs and GOMAXPROCS.
+// analyzeMain implements `pimzd-trace analyze [-requests] [-top N]
+// [-out file] <dump>`: the critical-path report over a flight-recorder
+// dump, or (with -requests) the stage-attribution report over a
+// slow-request dump. Both reports read only recorded fields and sort
+// under total orders, so they are byte-identical across runs and
+// GOMAXPROCS.
 func analyzeMain(args []string) {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	top := fs.Int("top", 10, "straggler modules to list")
+	top := fs.Int("top", 10, "straggler modules (or fan-out offenders with -requests) to list")
+	reqs := fs.Bool("requests", false, "input is a slow-request dump (pimzd-serve -requests-out or /snapshot/slowrequests)")
 	out := fs.String("out", "", "write the report to file instead of stdout")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pimzd-trace analyze [-top N] [-out file] <flight-dump.json>\n")
+		fmt.Fprintf(os.Stderr, "usage: pimzd-trace analyze [-requests] [-top N] [-out file] <dump.json>\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -258,17 +268,6 @@ func analyzeMain(args []string) {
 	fd, err := os.Open(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
-		os.Exit(1)
-	}
-	dump, err := obs.ReadFlightDump(fd)
-	fd.Close()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "analyze: parsing %s: %v\n", fs.Arg(0), err)
-		os.Exit(1)
-	}
-	if dump.Format != obs.FlightDumpFormat {
-		fmt.Fprintf(os.Stderr, "analyze: %s: unknown dump format %q (want %q)\n",
-			fs.Arg(0), dump.Format, obs.FlightDumpFormat)
 		os.Exit(1)
 	}
 	var w io.Writer = os.Stdout
@@ -282,6 +281,32 @@ func analyzeMain(args []string) {
 		bw := bufio.NewWriter(f)
 		defer bw.Flush()
 		w = bw
+	}
+	if *reqs {
+		rdump, err := serve.ReadRequestDump(fd)
+		fd.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: parsing %s: %v\n", fs.Arg(0), err)
+			os.Exit(1)
+		}
+		if rdump.Format != serve.RequestDumpFormat {
+			fmt.Fprintf(os.Stderr, "analyze: %s: unknown dump format %q (want %q)\n",
+				fs.Arg(0), rdump.Format, serve.RequestDumpFormat)
+			os.Exit(1)
+		}
+		rdump.WriteAnalysis(w, *top)
+		return
+	}
+	dump, err := obs.ReadFlightDump(fd)
+	fd.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: parsing %s: %v\n", fs.Arg(0), err)
+		os.Exit(1)
+	}
+	if dump.Format != obs.FlightDumpFormat {
+		fmt.Fprintf(os.Stderr, "analyze: %s: unknown dump format %q (want %q)\n",
+			fs.Arg(0), dump.Format, obs.FlightDumpFormat)
+		os.Exit(1)
 	}
 	dump.WriteAnalysis(w, *top)
 }

@@ -21,6 +21,10 @@ import (
 //	                       families so the output is byte-identical across
 //	                       identical runs (what CI golden-tests).
 //	GET /healthz           "ok" once the configured health check passes.
+//	GET /readyz            "ok" once the configured readiness check
+//	                       passes (503 while the server is still loading
+//	                       or no longer accepting); liveness stays on
+//	                       /healthz so probes can distinguish the two.
 //	GET /snapshot/tree     JSON structural snapshot of the served tree.
 //	GET /snapshot/modules  JSON per-module cumulative load heatmap with
 //	                       p50/p99/max/mean cycles+bytes and the Fig. 7
@@ -28,6 +32,8 @@ import (
 //	GET /snapshot/flightrecorder  JSON flight-recorder dump: the ring of
 //	                       recent per-op records plus the slow-op set.
 //	GET /snapshot/slowops  JSON slow-op records only (full round detail).
+//	GET /snapshot/slo      JSON SLO status: rolling 1m/5m/1h error rates
+//	                       and burn rates per latency objective.
 //	GET /debug/pprof/*     Go runtime profiles.
 //	GET /                  plain-text endpoint index.
 //
@@ -50,6 +56,12 @@ type AdminConfig struct {
 	Flight *obs.FlightRecorder
 	// Health returns nil when the server should report healthy.
 	Health func() error
+	// Ready returns nil when the server is ready to take traffic
+	// (/readyz). Distinct from Health: a server warming its index is
+	// alive but not ready. Nil falls back to Health.
+	Ready func() error
+	// SLO backs /snapshot/slo.
+	SLO *SLOTracker
 	// Extra mounts additional handlers on the admin mux, pattern ->
 	// handler (http.ServeMux patterns). The serving engine uses this to
 	// expose its client API (/v1/*) on the same listener without this
@@ -81,11 +93,13 @@ func NewAdminHandler(cfg AdminConfig) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "pimzd admin endpoints:\n"+
 			"  /metrics                   Prometheus text exposition (?modeled=1 deterministic subset, ?exemplars=1 trace exemplars)\n"+
-			"  /healthz                   health probe\n"+
+			"  /healthz                   liveness probe\n"+
+			"  /readyz                    readiness probe (503 until serving)\n"+
 			"  /snapshot/tree             JSON tree statistics\n"+
 			"  /snapshot/modules          JSON per-module load heatmap\n"+
 			"  /snapshot/flightrecorder   JSON per-op flight-recorder dump\n"+
 			"  /snapshot/slowops          JSON slow-op records (full round detail)\n"+
+			"  /snapshot/slo              JSON SLO burn-rate status\n"+
 			"  /debug/pprof/              Go runtime profiles\n")
 	})
 
@@ -98,6 +112,29 @@ func NewAdminHandler(cfg AdminConfig) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		check := cfg.Ready
+		if check == nil {
+			check = cfg.Health
+		}
+		if check != nil {
+			if err := check(); err != nil {
+				http.Error(w, fmt.Sprintf("not ready: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/snapshot/slo", func(w http.ResponseWriter, r *http.Request) {
+		if !cfg.SLO.Enabled() {
+			http.Error(w, "slo tracking not enabled", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, cfg.SLO.Snapshot())
 	})
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -96,7 +96,7 @@ func (f *family) writeText(w *bytes.Buffer, opts ExpoOpts) {
 		switch f.typ {
 		case TypeCounter, TypeGauge:
 			w.WriteString(f.opts.Name)
-			writeLabels(w, f.opts.Label, k, "", "")
+			f.writeSeriesLabels(w, k, "", "")
 			w.WriteByte(' ')
 			w.WriteString(formatValue(s.val))
 			w.WriteByte('\n')
@@ -106,7 +106,7 @@ func (f *family) writeText(w *bytes.Buffer, opts ExpoOpts) {
 				cum += s.buckets[i]
 				w.WriteString(f.opts.Name)
 				w.WriteString("_bucket")
-				writeLabels(w, f.opts.Label, k, "le", formatValue(b))
+				f.writeSeriesLabels(w, k, "le", formatValue(b))
 				w.WriteByte(' ')
 				w.WriteString(strconv.FormatUint(cum, 10))
 				if opts.Exemplars {
@@ -116,7 +116,7 @@ func (f *family) writeText(w *bytes.Buffer, opts ExpoOpts) {
 			}
 			w.WriteString(f.opts.Name)
 			w.WriteString("_bucket")
-			writeLabels(w, f.opts.Label, k, "le", "+Inf")
+			f.writeSeriesLabels(w, k, "le", "+Inf")
 			w.WriteByte(' ')
 			w.WriteString(strconv.FormatUint(s.count, 10))
 			if opts.Exemplars {
@@ -125,18 +125,50 @@ func (f *family) writeText(w *bytes.Buffer, opts ExpoOpts) {
 			w.WriteByte('\n')
 			w.WriteString(f.opts.Name)
 			w.WriteString("_sum")
-			writeLabels(w, f.opts.Label, k, "", "")
+			f.writeSeriesLabels(w, k, "", "")
 			w.WriteByte(' ')
 			w.WriteString(formatValue(s.sum))
 			w.WriteByte('\n')
 			w.WriteString(f.opts.Name)
 			w.WriteString("_count")
-			writeLabels(w, f.opts.Label, k, "", "")
+			f.writeSeriesLabels(w, k, "", "")
 			w.WriteByte(' ')
 			w.WriteString(strconv.FormatUint(s.count, 10))
 			w.WriteByte('\n')
 		}
 	}
+}
+
+// writeSeriesLabels renders one series' label set from its key: the
+// family's single dimension, or — for multi-label families — each
+// (name, value) pair in declaration order, plus an optional extra pair
+// (histograms' le).
+func (f *family) writeSeriesLabels(w *bytes.Buffer, key, extraName, extraValue string) {
+	if f.labels == nil {
+		writeLabels(w, f.opts.Label, key, extraName, extraValue)
+		return
+	}
+	values := strings.Split(key, labelSep)
+	w.WriteByte('{')
+	for i, name := range f.labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(name)
+		w.WriteString(`="`)
+		if i < len(values) {
+			w.WriteString(escapeLabel(values[i]))
+		}
+		w.WriteByte('"')
+	}
+	if extraName != "" {
+		w.WriteByte(',')
+		w.WriteString(extraName)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(extraValue))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
 }
 
 // writeExemplar renders the OpenMetrics exemplar of bucket i, if any:

@@ -72,11 +72,40 @@ type Opts struct {
 // family is one named metric with its series (one per label value;
 // unlabeled families hold exactly the "" series).
 type family struct {
-	opts    Opts
-	typ     Type
-	bounds  []float64 // histogram upper bounds (histograms only)
-	mu      sync.Mutex
-	series  map[string]*series
+	opts   Opts
+	typ    Type
+	bounds []float64 // histogram upper bounds (histograms only)
+	// labels, when non-nil, makes this a multi-label family: series keys
+	// are the label values joined by labelSep in labels order, and
+	// opts.Label is empty. Single-label families keep the legacy scheme
+	// (key = bare value of opts.Label) so their exposition bytes — and the
+	// CI goldens pinning them — are untouched.
+	labels []string
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// labelSep joins multi-label series key components. NUL cannot appear in
+// exposition label values (escaping covers \ " \n only), and it sorts
+// before every printable byte, so joined keys sort exactly like the
+// (v1, v2, ...) tuple.
+const labelSep = "\x00"
+
+// joinLabelKey builds the series key of a multi-label family.
+func joinLabelKey(values ...string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	case 2:
+		return values[0] + labelSep + values[1]
+	}
+	out := values[0]
+	for _, v := range values[1:] {
+		out += labelSep + v
+	}
+	return out
 }
 
 // series is the value cell of one (family, label value) pair.
@@ -119,6 +148,11 @@ func New() *Registry {
 
 // register creates or fetches a family, enforcing one type per name.
 func (r *Registry) register(opts Opts, typ Type, bounds []float64) *family {
+	return r.registerLabeled(opts, typ, bounds, nil)
+}
+
+// registerLabeled is register with an optional multi-label dimension set.
+func (r *Registry) registerLabeled(opts Opts, typ Type, bounds []float64, labels []string) *family {
 	if opts.Name == "" {
 		panic("metrics: empty metric name")
 	}
@@ -137,9 +171,12 @@ func (r *Registry) register(opts Opts, typ Type, bounds []float64) *family {
 		if !slices.Equal(f.bounds, bounds) {
 			panic(fmt.Sprintf("metrics: %s re-registered with different buckets (%v, was %v)", opts.Name, bounds, f.bounds))
 		}
+		if !slices.Equal(f.labels, labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered with different labels (%v, was %v)", opts.Name, labels, f.labels))
+		}
 		return f
 	}
-	f := &family{opts: opts, typ: typ, bounds: bounds, series: make(map[string]*series)}
+	f := &family{opts: opts, typ: typ, bounds: bounds, labels: labels, series: make(map[string]*series)}
 	r.families[opts.Name] = f
 	return f
 }
@@ -313,6 +350,63 @@ func (v *GaugeVec) With(value string) *Gauge {
 	return g
 }
 
+// GaugeVec2 is a gauge family with two label dimensions.
+type GaugeVec2 struct {
+	f  *family
+	mu sync.Mutex
+	by map[[2]string]*Gauge
+}
+
+// NewGaugeVec2 registers a two-label gauge family. opts.Label must be
+// empty (the dimensions come from label1/label2).
+func (r *Registry) NewGaugeVec2(opts Opts, label1, label2 string) *GaugeVec2 {
+	if r == nil {
+		return nil
+	}
+	if label1 == "" || label2 == "" {
+		panic("metrics: GaugeVec2 requires two label names")
+	}
+	if opts.Label != "" {
+		panic("metrics: GaugeVec2 takes labels as arguments, not Opts.Label")
+	}
+	return &GaugeVec2{f: r.registerLabeled(opts, TypeGauge, nil, []string{label1, label2}), by: make(map[[2]string]*Gauge)}
+}
+
+// With returns the gauge for one label-value pair, creating it on first
+// use.
+func (v *GaugeVec2) With(v1, v2 string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := [2]string{v1, v2}
+	g, ok := v.by[key]
+	if !ok {
+		g = &Gauge{f: v.f, s: v.f.cell(joinLabelKey(v1, v2))}
+		v.by[key] = g
+	}
+	return g
+}
+
+// NewLabeledGauge registers a gauge pinned to a fixed label set — the
+// build_info idiom: one series whose labels carry the information and
+// whose value is 1 (or whatever the caller sets). names and values are
+// index-aligned and render in the given order.
+func (r *Registry) NewLabeledGauge(opts Opts, names, values []string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if len(names) == 0 || len(names) != len(values) {
+		panic(fmt.Sprintf("metrics: %s: labeled gauge needs equal, non-empty name/value sets", opts.Name))
+	}
+	if opts.Label != "" {
+		panic("metrics: NewLabeledGauge takes labels as arguments, not Opts.Label")
+	}
+	f := r.registerLabeled(opts, TypeGauge, nil, slices.Clone(names))
+	return &Gauge{f: f, s: f.cell(joinLabelKey(values...))}
+}
+
 // Histogram is a fixed log-bucket distribution. A nil *Histogram discards
 // observations.
 type Histogram struct {
@@ -379,6 +473,46 @@ func (v *HistogramVec) With(value string) *Histogram {
 	if !ok {
 		h = &Histogram{f: v.f, s: v.f.cell(value)}
 		v.by[value] = h
+	}
+	return h
+}
+
+// HistogramVec2 is a histogram family with two label dimensions.
+type HistogramVec2 struct {
+	f  *family
+	mu sync.Mutex
+	by map[[2]string]*Histogram
+}
+
+// NewHistogramVec2 registers a two-label histogram family. opts.Label
+// must be empty (the dimensions come from label1/label2).
+func (r *Registry) NewHistogramVec2(opts HistogramOpts, label1, label2 string) *HistogramVec2 {
+	if r == nil {
+		return nil
+	}
+	if label1 == "" || label2 == "" {
+		panic("metrics: HistogramVec2 requires two label names")
+	}
+	if opts.Label != "" {
+		panic("metrics: HistogramVec2 takes labels as arguments, not Opts.Label")
+	}
+	f := r.registerLabeled(opts.Opts, TypeHistogram, opts.bounds(), []string{label1, label2})
+	return &HistogramVec2{f: f, by: make(map[[2]string]*Histogram)}
+}
+
+// With returns the histogram for one label-value pair, creating it on
+// first use.
+func (v *HistogramVec2) With(v1, v2 string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := [2]string{v1, v2}
+	h, ok := v.by[key]
+	if !ok {
+		h = &Histogram{f: v.f, s: v.f.cell(joinLabelKey(v1, v2))}
+		v.by[key] = h
 	}
 	return h
 }

@@ -56,11 +56,27 @@ type Config struct {
 	MaxK int
 	// Registry, when non-nil, receives the serving metrics families (all
 	// Wall-marked: request latency, queue depth, epoch occupancy, shed
-	// and epoch counters).
+	// and epoch counters, per-stage wall histograms).
 	Registry *metrics.Registry
 	// Flight, when enabled, supplies per-batch trace IDs threaded into
 	// responses and request-latency exemplars.
 	Flight *obs.FlightRecorder
+	// Requests, when enabled, captures slow requests with their full
+	// stage decomposition (see RequestTracer).
+	Requests *RequestTracer
+	// SLO, when enabled, receives every finished request's (op, wall,
+	// failed) observation for burn-rate tracking.
+	SLO *metrics.SLOTracker
+}
+
+// FanoutSource is implemented by sharded backends that can report the
+// per-query shard fan-out of the batch they just executed (see
+// shard.Index.SetFanoutCapture). The engine folds reports into slow
+// request records and the pimzd_shard_fanout histogram.
+type FanoutSource interface {
+	// TakeFanout returns the last batch's fan-out report, or nil when
+	// capture is off. The report's slices are valid until the next batch.
+	TakeFanout() *obs.FanoutReport
 }
 
 func (c *Config) fill() {
@@ -88,13 +104,15 @@ func (c *Config) fill() {
 // their values depend on real arrival timing, so they must stay out of
 // the modeled-only exposition CI golden-tests.
 type engineMetrics struct {
-	requests *metrics.CounterVec   // pimzd_requests_total{op}
-	shed     *metrics.CounterVec   // pimzd_requests_shed_total{op}
-	reqSec   *metrics.HistogramVec // pimzd_request_seconds{op}
-	queueOps *metrics.Gauge        // pimzd_intake_queue_ops
-	epochSec *metrics.HistogramVec // pimzd_epoch_seconds{phase}
-	batchOps *metrics.HistogramVec // pimzd_coalesced_batch_ops{op}
-	epochs   *metrics.Counter      // pimzd_epochs_total
+	requests *metrics.CounterVec    // pimzd_requests_total{op}
+	shed     *metrics.CounterVec    // pimzd_requests_shed_total{op}
+	reqSec   *metrics.HistogramVec  // pimzd_request_seconds{op}
+	queueOps *metrics.Gauge         // pimzd_intake_queue_ops
+	epochSec *metrics.HistogramVec  // pimzd_epoch_seconds{phase}
+	batchOps *metrics.HistogramVec  // pimzd_coalesced_batch_ops{op}
+	epochs   *metrics.Counter       // pimzd_epochs_total
+	stageSec *metrics.HistogramVec2 // pimzd_request_stage_seconds{op,stage}
+	fanout   *metrics.Histogram     // pimzd_shard_fanout
 }
 
 func newEngineMetrics(reg *metrics.Registry) engineMetrics {
@@ -119,6 +137,14 @@ func newEngineMetrics(reg *metrics.Registry) engineMetrics {
 			Wall: true, Label: "op"}, Buckets: metrics.CountBuckets()}),
 		epochs: reg.NewCounter(metrics.Opts{Name: "pimzd_epochs_total",
 			Help: "Executed engine epochs.", Wall: true}),
+		stageSec: reg.NewHistogramVec2(metrics.HistogramOpts{Opts: metrics.Opts{
+			Name: "pimzd_request_stage_seconds",
+			Help: "Per-stage request wall time through the serving pipeline.",
+			Wall: true}, Buckets: metrics.WallSecondsBuckets()}, "op", "stage"),
+		fanout: reg.NewHistogram(metrics.HistogramOpts{Opts: metrics.Opts{
+			Name: "pimzd_shard_fanout",
+			Help: "Shards touched per routed query (sharded backends with fan-out capture on).",
+			Wall: true}, Buckets: metrics.CountBuckets()}),
 	}
 }
 
@@ -145,10 +171,26 @@ type Engine struct {
 	fenceViolations atomic.Int64
 	epochsRun       atomic.Int64
 
+	// fanSrc is non-nil when the backend can report shard fan-out.
+	fanSrc FanoutSource
+
+	// stageH pre-resolves the per-(op,stage) wall histograms so the
+	// request finish path observes stages without map lookups or
+	// allocation (nil cells no-op when the registry is absent).
+	stageH [opBarrier + 1][NumStages]*metrics.Histogram
+
 	// executor scratch (executor goroutine only)
 	ptsArena   []geom.Point
 	boxArena   []geom.Box
 	foundArena []bool
+
+	// fan-out capture scratch (executor goroutine only; valid for the
+	// duration of one run* call — requests alias fanChunkSpans entries
+	// and read them only inside finish, before the next run* resets)
+	fanPerQ        []int32
+	fanChunkSpans  [][]obs.FanoutSpan
+	fanChunkPruned []int32
+	fanLive        bool
 }
 
 // New starts an engine (builder + executor goroutines) over cfg.Backend.
@@ -162,6 +204,16 @@ func New(cfg Config) *Engine {
 		builderDone: make(chan struct{}),
 		execDone:    make(chan struct{}),
 	}
+	if fs, ok := cfg.Backend.(FanoutSource); ok {
+		e.fanSrc = fs
+	}
+	if e.m.stageSec != nil {
+		for op := OpSearch; op <= opBarrier; op++ {
+			for s := 0; s < NumStages; s++ {
+				e.stageH[op][s] = e.m.stageSec.With(op.String(), StageNames[s])
+			}
+		}
+	}
 	go e.builder()
 	go e.executor()
 	return e
@@ -174,6 +226,7 @@ func (e *Engine) Submit(r *Request) error {
 	if r.done == nil {
 		r.done = make(chan struct{})
 	}
+	r.stamp(bAdmitted)
 	r.enq = time.Now()
 	if e.closed.Load() {
 		e.m.shed.With(r.Op.String()).Add(1)
@@ -182,6 +235,9 @@ func (e *Engine) Submit(r *Request) error {
 	if err := e.validate(r); err != nil {
 		return err
 	}
+	// Stamp before push: once r is in the queue the builder owns it, and
+	// a late stamp here would race with the executor sealing the stamps.
+	r.stamp(bEnqueued)
 	if err := e.in.push(r); err != nil {
 		e.m.shed.With(r.Op.String()).Add(1)
 		return err
@@ -285,7 +341,14 @@ func (e *Engine) builder() {
 				continue
 			}
 		}
-		e.planCh <- &epochPlan{all: append([]*Request(nil), buf...)}
+		stampAll(buf, bDrained)
+		plan := &epochPlan{all: append([]*Request(nil), buf...)}
+		// bPlanned is stamped before the send: once the executor owns the
+		// plan it stamps bFenced concurrently, so stamping afterwards would
+		// race. The planCh backpressure wait therefore counts as fence
+		// time (waiting for the executor), which is what it is.
+		stampAll(plan.all, bPlanned)
+		e.planCh <- plan
 	}
 }
 
@@ -308,6 +371,7 @@ func (e *Engine) execute(p *epochPlan) {
 		e.executeFIFO(p)
 		return
 	}
+	stampAll(p.all, bFenced)
 	var searches, knns, boxes, inserts, deletes, barriers []*Request
 	for _, r := range p.all {
 		switch r.Op {
@@ -368,6 +432,7 @@ func (e *Engine) executeFIFO(p *epochPlan) {
 			e.in.releaseOps(r.opCount())
 			continue
 		}
+		r.stamp(bFenced)
 		switch r.Op {
 		case OpSearch:
 			found := e.cfg.Backend.SearchBatch(r.Pts)
@@ -390,7 +455,19 @@ func (e *Engine) executeFIFO(p *epochPlan) {
 		case opBarrier:
 			r.Resp.Epoch = e.cfg.Backend.Epoch()
 		}
+		r.stamp(bExecuted)
 		r.Resp.Trace = e.lastTrace()
+		r.firstTrace = r.Resp.Trace
+		if e.fanSrc != nil {
+			if rep := e.fanSrc.TakeFanout(); rep != nil {
+				r.fanMax = int32(rep.MaxFanout())
+				r.fanPruned = int32(rep.Pruned)
+				r.fanSpans = rep.Shards
+				for _, f := range rep.PerQuery {
+					e.m.fanout.Observe(float64(f))
+				}
+			}
+		}
 		e.m.batchOps.With(r.Op.String()).Observe(float64(r.opCount()))
 		e.finish(r)
 	}
@@ -437,10 +514,13 @@ func (e *Engine) runSearches(reqs []*Request, epoch uint64) {
 	off := 0
 	for _, r := range reqs {
 		n := len(r.Pts)
+		r.stamp(bExecuted)
 		if r.Resp.Err == nil {
 			r.Resp.Found = append([]bool(nil), found[off:off+n]...)
 			r.Resp.Epoch = epoch
 			r.Resp.Trace = traceAt(traces, off+n-1, e.cfg.MaxBatch)
+			r.firstTrace = traceAt(traces, off, e.cfg.MaxBatch)
+			e.attachFanout(r, off, n)
 		}
 		off += n
 		e.finish(r)
@@ -485,10 +565,13 @@ func (e *Engine) runKNNs(reqs []*Request, epoch uint64) {
 		off := 0
 		for _, r := range group {
 			n := len(r.Pts)
+			r.stamp(bExecuted)
 			if r.Resp.Err == nil {
 				r.Resp.Neighbors = neighbors[off : off+n : off+n]
 				r.Resp.Epoch = epoch
 				r.Resp.Trace = traceAt(traces, off+n-1, e.cfg.MaxBatch)
+				r.firstTrace = traceAt(traces, off, e.cfg.MaxBatch)
+				e.attachFanout(r, off, n)
 			}
 			off += n
 			e.finish(r)
@@ -522,10 +605,13 @@ func (e *Engine) runBoxes(reqs []*Request, epoch uint64) {
 	off := 0
 	for _, r := range reqs {
 		n := len(r.Boxes)
+		r.stamp(bExecuted)
 		if r.Resp.Err == nil {
 			r.Resp.Counts = counts[off : off+n : off+n]
 			r.Resp.Epoch = epoch
 			r.Resp.Trace = traceAt(traces, off+n-1, e.cfg.MaxBatch)
+			r.firstTrace = traceAt(traces, off, e.cfg.MaxBatch)
+			e.attachFanout(r, off, n)
 		}
 		off += n
 		e.finish(r)
@@ -564,10 +650,13 @@ func (e *Engine) runUpdates(reqs []*Request, op Op) {
 	off := 0
 	for _, r := range reqs {
 		n := len(r.Pts)
+		r.stamp(bExecuted)
 		if r.Resp.Err == nil {
 			r.Resp.Applied = n
 			r.Resp.Epoch = epochs[(off+n-1)/e.cfg.MaxBatch]
 			r.Resp.Trace = traceAt(traces, off+n-1, e.cfg.MaxBatch)
+			r.firstTrace = traceAt(traces, off, e.cfg.MaxBatch)
+			e.attachFanout(r, off, n)
 		}
 		off += n
 		e.finish(r)
@@ -593,6 +682,7 @@ func markAborted(reqs []*Request) {
 func (e *Engine) runChunked(op string, total int, fn func(lo, hi int)) (traces []uint64, ok bool) {
 	nChunks := (total + e.cfg.MaxBatch - 1) / e.cfg.MaxBatch
 	traces = make([]uint64, nChunks)
+	e.resetFanout(total, nChunks)
 	for c := 0; c < nChunks; c++ {
 		if e.aborted.Load() {
 			return traces, false
@@ -601,9 +691,77 @@ func (e *Engine) runChunked(op string, total int, fn func(lo, hi int)) (traces [
 		hi := min(lo+e.cfg.MaxBatch, total)
 		fn(lo, hi)
 		traces[c] = e.lastTrace()
+		e.captureFanout(c, lo, hi)
 		e.m.batchOps.With(op).Observe(float64(hi - lo))
 	}
 	return traces, true
+}
+
+// resetFanout sizes the fan-out scratch for a chunked run and clears the
+// live flag. Invalidates any spans requests from the previous run still
+// alias — those are only read inside finish, which has already happened.
+func (e *Engine) resetFanout(total, nChunks int) {
+	e.fanLive = false
+	if e.fanSrc == nil {
+		return
+	}
+	if cap(e.fanPerQ) < total {
+		e.fanPerQ = make([]int32, total)
+	}
+	e.fanPerQ = e.fanPerQ[:total]
+	for i := range e.fanPerQ {
+		e.fanPerQ[i] = 0
+	}
+	for cap(e.fanChunkSpans) < nChunks {
+		e.fanChunkSpans = append(e.fanChunkSpans[:cap(e.fanChunkSpans)], nil)
+	}
+	e.fanChunkSpans = e.fanChunkSpans[:nChunks]
+	if cap(e.fanChunkPruned) < nChunks {
+		e.fanChunkPruned = make([]int32, nChunks)
+	}
+	e.fanChunkPruned = e.fanChunkPruned[:nChunks]
+}
+
+// captureFanout folds one chunk's fan-out report into the scratch and the
+// pimzd_shard_fanout histogram. The report's slices are only valid until
+// the next backend batch, so the span list is copied into per-chunk
+// scratch here (reused across runs after the first).
+func (e *Engine) captureFanout(c, lo, hi int) {
+	if e.fanSrc == nil {
+		return
+	}
+	rep := e.fanSrc.TakeFanout()
+	if rep == nil {
+		return
+	}
+	e.fanLive = true
+	copy(e.fanPerQ[lo:hi], rep.PerQuery)
+	e.fanChunkSpans[c] = append(e.fanChunkSpans[c][:0], rep.Shards...)
+	e.fanChunkPruned[c] = int32(rep.Pruned)
+	for _, f := range rep.PerQuery {
+		e.m.fanout.Observe(float64(f))
+	}
+}
+
+// attachFanout hands a scattered request its fan-out context: the max
+// per-query fan-out across its own queries, and the span breakdown of the
+// chunk that served its tail. The spans alias engine scratch — valid
+// until the next chunked run, i.e. through this request's finish.
+func (e *Engine) attachFanout(r *Request, off, n int) {
+	if !e.fanLive || n == 0 {
+		return
+	}
+	var m int32
+	for _, f := range e.fanPerQ[off : off+n] {
+		if f > m {
+			m = f
+		}
+	}
+	r.fanMax = m
+	if c := (off + n - 1) / e.cfg.MaxBatch; c < len(e.fanChunkSpans) {
+		r.fanSpans = e.fanChunkSpans[c]
+		r.fanPruned = e.fanChunkPruned[c]
+	}
 }
 
 // traceAt returns the trace of the chunk containing flat index i.
@@ -622,6 +780,8 @@ func traceAt(traces []uint64, i, maxBatch int) uint64 {
 // serving batch's trace ID when available), completion counters,
 // admission release.
 func (e *Engine) finish(r *Request) {
+	r.stamp(bReplied)
+	e.observeStages(r)
 	wall := time.Since(r.enq).Seconds()
 	op := r.Op.String()
 	e.m.requests.With(op).Add(1)
@@ -635,6 +795,26 @@ func (e *Engine) finish(r *Request) {
 	e.in.releaseOps(r.opCount())
 	e.m.queueOps.Set(float64(e.in.queuedOps()))
 	r.complete()
+}
+
+// observeStages seals the request's stage stamps and feeds every consumer
+// of the decomposition: Response.StageNanos, the per-(op,stage) wall
+// histograms, the SLO tracker, and slow-request capture. Allocation-free
+// on the steady-state path (pre-resolved histogram table, constant op
+// strings, capture fast path compares under a lock and returns).
+func (e *Engine) observeStages(r *Request) {
+	if r.ts[bAdmitted] == 0 || r.Op < OpSearch || r.Op > opBarrier {
+		return // not admitted through Submit (engine-internal test paths)
+	}
+	total := r.sealStamps()
+	for s := 0; s < NumStages; s++ {
+		r.Resp.StageNanos[s] = r.ts[s+1] - r.ts[s]
+		if h := e.stageH[r.Op][s]; h != nil {
+			h.Observe(r.stageSeconds(s))
+		}
+	}
+	e.cfg.SLO.Observe(r.Op.String(), total, r.Resp.Err != nil)
+	e.cfg.Requests.offer(r, total)
 }
 
 // failAll completes every request of a plan with ErrDrainDeadline.

@@ -37,17 +37,26 @@ type httpReq struct {
 	Points [][]uint32 `json:"points,omitempty"`
 	Boxes  []httpBox  `json:"boxes,omitempty"`
 	K      int        `json:"k,omitempty"`
+	// ID is an optional client-chosen request id; when non-zero the
+	// response echoes it together with the request's per-stage latency
+	// decomposition, and slow-request capture records it.
+	ID uint64 `json:"id,omitempty"`
 }
 
 // httpResp is the response body. Fields are op-specific; Epoch and Trace
 // are always present (trace omitted when tracing is off).
 type httpResp struct {
-	Found     []bool       `json:"found,omitempty"`
-	Applied   int          `json:"applied,omitempty"`
-	Neighbors [][]httpNbr  `json:"neighbors,omitempty"`
-	Counts    []int64      `json:"counts,omitempty"`
-	Epoch     uint64       `json:"epoch"`
-	Trace     uint64       `json:"trace,omitempty"`
+	Found     []bool      `json:"found,omitempty"`
+	Applied   int         `json:"applied,omitempty"`
+	Neighbors [][]httpNbr `json:"neighbors,omitempty"`
+	Counts    []int64     `json:"counts,omitempty"`
+	Epoch     uint64      `json:"epoch"`
+	Trace     uint64      `json:"trace,omitempty"`
+	// ID echoes the request id; StageSeconds is the request's per-stage
+	// wall-time decomposition (keys from StageNames), present only when
+	// an id was sent.
+	ID           uint64             `json:"id,omitempty"`
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 }
 
 // httpNbr is one kNN result point with its squared l2 distance.
@@ -92,6 +101,7 @@ func serveOp(e *Engine, op Op, w http.ResponseWriter, r *http.Request) {
 	}
 	req := NewRequest(op)
 	req.K = body.K
+	req.ID = body.ID
 	var err error
 	if req.Pts, err = decodePoints(body.Points); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
@@ -114,6 +124,13 @@ func serveOp(e *Engine, op Op, w http.ResponseWriter, r *http.Request) {
 	}
 	if op == OpKNN {
 		resp.Neighbors = encodeNeighbors(req.Resp.Neighbors)
+	}
+	if req.ID != 0 {
+		resp.ID = req.ID
+		resp.StageSeconds = make(map[string]float64, NumStages)
+		for s := 0; s < NumStages; s++ {
+			resp.StageSeconds[StageNames[s]] = float64(req.Resp.StageNanos[s]) / 1e9
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"pimzdtree/internal/obs"
+)
+
+// Bounded slow-request capture: the request-level sibling of the
+// flight recorder's slow-op set. Requests whose total wall time reaches
+// the threshold (or, with no threshold, rank in the top K outright) are
+// retained with their full stage decomposition, the flight-recorder
+// trace IDs of the coalesced batches that served them, and — for
+// sharded backends with fan-out capture on — the per-shard fan-out
+// breakdown. /snapshot/slowrequests serves the dump;
+// `pimzd-trace analyze -requests` turns it into a stage-attribution
+// report.
+//
+// A nil *RequestTracer is the disabled state: every method is nil-safe,
+// mirroring *obs.FlightRecorder.
+
+// RequestDumpFormat identifies the JSON dump schema version.
+const RequestDumpFormat = "pimzd-requests-v1"
+
+// RequestTraceConfig sizes a RequestTracer, mirroring the slow-capture
+// knobs of obs.FlightConfig.
+type RequestTraceConfig struct {
+	// SlowWallSeconds, when > 0, captures any request whose total wall
+	// time reaches it. With the threshold zero the capturer keeps the
+	// top K by wall time outright.
+	SlowWallSeconds float64
+	// SlowK bounds the retained slow-request set (<= 0: 16).
+	SlowK int
+}
+
+func (c *RequestTraceConfig) fill() {
+	if c.SlowK <= 0 {
+		c.SlowK = 16
+	}
+}
+
+// RequestRecord is one captured slow request.
+type RequestRecord struct {
+	// Seq is the tracer-global capture sequence (monotone; ties in wall
+	// time resolve by it).
+	Seq uint64 `json:"seq"`
+	// ID is the client-echoed request ID (0 when the client sent none).
+	ID uint64 `json:"id,omitempty"`
+	Op string `json:"op"`
+	// Err is the completion error, if any.
+	Err string `json:"error,omitempty"`
+	// Ops is the request's point-op count (batch size).
+	Ops int `json:"ops"`
+	K   int `json:"k,omitempty"`
+	// Epoch is the update epoch the request observed.
+	Epoch uint64 `json:"epoch"`
+	// Trace / FirstTrace are the flight-recorder trace IDs of the last /
+	// first coalesced tree batch that served the request — resolvable in
+	// /snapshot/flightrecorder while the ring still holds them.
+	Trace      uint64 `json:"trace,omitempty"`
+	FirstTrace uint64 `json:"first_trace,omitempty"`
+	// TotalSeconds is the admitted→replied wall time; StageSeconds is its
+	// exact decomposition (index-aligned with the dump's "stages" list and
+	// summing to TotalSeconds).
+	TotalSeconds float64            `json:"total_seconds"`
+	StageSeconds [NumStages]float64 `json:"stage_seconds"`
+
+	// Fan-out breakdown (sharded backends with capture on; zero/empty
+	// otherwise). FanOut is the largest per-query shard fan-out among the
+	// request's queries; FanPruned counts shard probes the block BVH
+	// excluded in its serving batch; FanSpans is that batch's per-shard
+	// cost breakdown.
+	FanOut    int              `json:"fan_out,omitempty"`
+	FanPruned int              `json:"fan_pruned,omitempty"`
+	FanSpans  []obs.FanoutSpan `json:"fan_spans,omitempty"`
+}
+
+// RequestDump is the /snapshot/slowrequests JSON document: capture
+// totals plus the slow set, slowest first.
+type RequestDump struct {
+	Format string `json:"format"`
+	// Stages names the stage_seconds indices.
+	Stages []string `json:"stages"`
+	// Observed counts requests ever offered to the tracer.
+	Observed int64           `json:"observed"`
+	Slow     []RequestRecord `json:"slow"`
+}
+
+// RequestTracer is the bounded slow-request store. Create with
+// NewRequestTracer and hand to the engine via Config.Requests.
+type RequestTracer struct {
+	cfg RequestTraceConfig
+
+	mu       sync.Mutex
+	seq      uint64
+	observed int64
+	slow     []RequestRecord
+}
+
+// NewRequestTracer returns an enabled tracer.
+func NewRequestTracer(cfg RequestTraceConfig) *RequestTracer {
+	cfg.fill()
+	return &RequestTracer{cfg: cfg}
+}
+
+// Enabled reports whether requests are being captured.
+func (t *RequestTracer) Enabled() bool { return t != nil }
+
+// offer considers one finished request for capture. wall is the sealed
+// total; the request's stamps, fan-out fields and Resp are final. The
+// fast path (request under the threshold with a full slow set) takes the
+// lock, compares, and returns without allocating.
+func (t *RequestTracer) offer(r *Request, wall float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observed++
+	t.seq++
+	if t.cfg.SlowWallSeconds > 0 && wall < t.cfg.SlowWallSeconds {
+		return
+	}
+	minI := -1
+	if len(t.slow) >= t.cfg.SlowK {
+		// Evict the cheapest retained record if the newcomer is slower;
+		// ties keep the incumbent (earlier capture), so a stream of equal
+		// requests settles.
+		minI = 0
+		for i := 1; i < len(t.slow); i++ {
+			if t.slow[i].TotalSeconds < t.slow[minI].TotalSeconds {
+				minI = i
+			}
+		}
+		if wall <= t.slow[minI].TotalSeconds {
+			return
+		}
+	}
+	rec := RequestRecord{
+		Seq:          t.seq,
+		ID:           r.ID,
+		Op:           r.Op.String(),
+		Ops:          int(r.opCount()),
+		K:            r.K,
+		Epoch:        r.Resp.Epoch,
+		Trace:        r.Resp.Trace,
+		FirstTrace:   r.firstTrace,
+		TotalSeconds: wall,
+		FanOut:       int(r.fanMax),
+		FanPruned:    int(r.fanPruned),
+	}
+	if r.Resp.Err != nil {
+		rec.Err = r.Resp.Err.Error()
+	}
+	for s := 0; s < NumStages; s++ {
+		rec.StageSeconds[s] = r.stageSeconds(s)
+	}
+	if len(r.fanSpans) > 0 {
+		rec.FanSpans = append([]obs.FanoutSpan(nil), r.fanSpans...)
+	}
+	if minI >= 0 {
+		t.slow[minI] = rec
+	} else {
+		t.slow = append(t.slow, rec)
+	}
+}
+
+// Snapshot returns a deep-copied dump, slowest first (ties by ascending
+// capture sequence — a total order, so snapshots are reproducible).
+func (t *RequestTracer) Snapshot() RequestDump {
+	d := RequestDump{Format: RequestDumpFormat, Stages: StageNames[:]}
+	if t == nil {
+		return d
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d.Observed = t.observed
+	d.Slow = make([]RequestRecord, len(t.slow))
+	for i, rec := range t.slow {
+		rec.FanSpans = append([]obs.FanoutSpan(nil), rec.FanSpans...)
+		d.Slow[i] = rec
+	}
+	sortSlowRequests(d.Slow)
+	return d
+}
+
+// sortSlowRequests orders records by descending total wall, ties by
+// ascending capture sequence.
+func sortSlowRequests(recs []RequestRecord) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &recs[j-1], &recs[j]
+			if a.TotalSeconds > b.TotalSeconds ||
+				(a.TotalSeconds == b.TotalSeconds && a.Seq < b.Seq) {
+				break
+			}
+			recs[j-1], recs[j] = recs[j], recs[j-1]
+		}
+	}
+}
+
+// WriteJSON writes the dump as indented JSON — the on-disk format
+// `pimzd-trace analyze -requests` reads.
+func (t *RequestTracer) WriteJSON(w io.Writer) error {
+	d := t.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadRequestDump parses a slow-request JSON dump.
+func ReadRequestDump(r io.Reader) (*RequestDump, error) {
+	var d RequestDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"pimzdtree/internal/core"
 	"pimzdtree/internal/geom"
+	"pimzdtree/internal/obs"
 )
 
 // Op identifies a client operation.
@@ -81,10 +82,31 @@ type Request struct {
 	Boxes []geom.Box
 	K     int // OpKNN only
 
+	// ID is an optional client-chosen request ID (0 = none). The wire
+	// protocol and HTTP API echo it in the response together with the
+	// request's stage decomposition, and slow-request capture records it,
+	// so a client-observed outlier is directly greppable in
+	// /snapshot/slowrequests.
+	ID uint64
+
 	Resp Response
 
 	done chan struct{}
 	enq  time.Time
+
+	// ts holds the monotonic stage-boundary stamps (see stages.go).
+	ts [numBoundaries]int64
+
+	// firstTrace is the flight trace of the first coalesced batch that
+	// served the request (Resp.Trace carries the last).
+	firstTrace uint64
+
+	// Fan-out capture context, set by the executor while the serving
+	// batch's report is still live (fanSpans aliases engine scratch and
+	// is only read inside finish, where the tracer copies it if kept).
+	fanMax    int32
+	fanPruned int32
+	fanSpans  []obs.FanoutSpan
 }
 
 // NewRequest builds a request with its completion channel armed.
@@ -128,6 +150,9 @@ type Response struct {
 	Neighbors [][]core.Neighbor // OpKNN: per query, sorted by distance
 	Counts    []int64           // OpBox: stored points per box
 
+	// ID is the client request ID the server echoed back (wire clients
+	// only; 0 when the request carried none).
+	ID uint64
 	// Epoch is the update epoch the request observed: for reads, the
 	// stable snapshot epoch the whole read phase ran against; for
 	// updates, the epoch their batch published.
@@ -135,6 +160,10 @@ type Response struct {
 	// Trace is the flight-recorder trace ID of the coalesced tree batch
 	// that served this request (0 when tracing is off).
 	Trace uint64
+	// StageNanos is the request's stage decomposition (index-aligned
+	// with StageNames): wall nanoseconds spent in each pipeline stage,
+	// summing to the admitted→replied total.
+	StageNanos [NumStages]int64
 }
 
 // validate rejects malformed requests before they reach the queue.

@@ -27,6 +27,10 @@ import (
 //	payload:
 //	  points ops: count × dims × u32 coords
 //	  box op:     count × 2 × dims × u32 coords (lo then hi per box)
+//	optional trailer:
+//	  u64 request id (non-zero). Old servers reject the longer frame with
+//	  a bad-request status frame and keep the connection; old clients
+//	  simply never send it, so the exact-length check still accepts them.
 //
 // Response frame:
 //
@@ -43,6 +47,10 @@ import (
 //	  insert/delete: count = applied, no payload
 //	  knn:     per query: u32 m, then m × (u64 dist, dims × u32 coords)
 //	  box:     count × i64
+//	optional trailer (present iff the request carried a request id):
+//	  u64 request id echo, then NumStages × u64 stage nanoseconds.
+//	  Old clients read exactly the payload their op implies and ignore
+//	  trailing bytes, so the trailer is invisible to them.
 const (
 	wireV1 = 1
 
@@ -57,6 +65,10 @@ const (
 
 	reqHeadLen  = 12 // version..k, after the length prefix
 	respHeadLen = 24 // version..count, after the length prefix
+
+	// respTrailerLen is the optional response trailer: request id echo
+	// plus the per-stage nanosecond decomposition.
+	respTrailerLen = 8 + NumStages*8
 )
 
 var le = binary.LittleEndian
@@ -126,6 +138,9 @@ func encodeRequest(dst []byte, r *Request, dims uint8) []byte {
 		dst = appendCoords(dst, &r.Boxes[i].Lo, dims)
 		dst = appendCoords(dst, &r.Boxes[i].Hi, dims)
 	}
+	if r.ID != 0 {
+		dst = le.AppendUint64(dst, r.ID)
+	}
 	return dst
 }
 
@@ -159,11 +174,19 @@ func decodeRequest(buf []byte) (*Request, error) {
 		coordsPer *= 2
 	}
 	want := reqHeadLen + count*coordsPer*4
-	if len(buf) != want {
-		return nil, fmt.Errorf("serve: %s frame: %d bytes, want %d for count=%d", op, len(buf), want, count)
+	var id uint64
+	switch len(buf) {
+	case want:
+		// legacy frame, no request id
+	case want + 8:
+		id = le.Uint64(buf[want:])
+	default:
+		return nil, fmt.Errorf("serve: %s frame: %d bytes, want %d (or %d with request id) for count=%d",
+			op, len(buf), want, want+8, count)
 	}
 	req := NewRequest(op)
 	req.K = k
+	req.ID = id
 	payload := buf[reqHeadLen:]
 	if op == OpBox {
 		req.Boxes = make([]geom.Box, count)
@@ -198,7 +221,8 @@ func encodeResponse(dst []byte, r *Request, dims uint8) []byte {
 	dst = le.AppendUint64(dst, r.Resp.Trace)
 	if status != wireOK {
 		dst = le.AppendUint32(dst, uint32(len(msg)))
-		return append(dst, msg...)
+		dst = append(dst, msg...)
+		return appendRespTrailer(dst, r)
 	}
 	switch r.Op {
 	case OpSearch:
@@ -226,6 +250,19 @@ func encodeResponse(dst []byte, r *Request, dims uint8) []byte {
 		for _, c := range r.Resp.Counts {
 			dst = le.AppendUint64(dst, uint64(c))
 		}
+	}
+	return appendRespTrailer(dst, r)
+}
+
+// appendRespTrailer appends the id-echo + stage-nanos trailer when the
+// request carried a client id; legacy requests get the legacy frame.
+func appendRespTrailer(dst []byte, r *Request) []byte {
+	if r.ID == 0 {
+		return dst
+	}
+	dst = le.AppendUint64(dst, r.ID)
+	for s := 0; s < NumStages; s++ {
+		dst = le.AppendUint64(dst, uint64(r.Resp.StageNanos[s]))
 	}
 	return dst
 }
@@ -282,8 +319,10 @@ func decodeResponse(buf []byte, dims uint8, resp *Response) error {
 			count = len(payload)
 		}
 		resp.Err = &WireError{Status: status, Msg: string(payload[:count])}
+		decodeRespTrailer(payload[count:], resp)
 		return nil
 	}
+	used := 0
 	switch op {
 	case OpSearch:
 		if len(payload) < count {
@@ -293,6 +332,7 @@ func decodeResponse(buf []byte, dims uint8, resp *Response) error {
 		for i := 0; i < count; i++ {
 			resp.Found[i] = payload[i] != 0
 		}
+		used = count
 	case OpInsert, OpDelete:
 		resp.Applied = count
 	case OpKNN:
@@ -316,6 +356,7 @@ func decodeResponse(buf []byte, dims uint8, resp *Response) error {
 			}
 			resp.Neighbors[i] = list
 		}
+		used = off
 	case OpBox:
 		if len(payload) < count*8 {
 			return fmt.Errorf("serve: box response: %d bytes for %d counts", len(payload), count)
@@ -324,8 +365,24 @@ func decodeResponse(buf []byte, dims uint8, resp *Response) error {
 		for i := 0; i < count; i++ {
 			resp.Counts[i] = int64(le.Uint64(payload[i*8:]))
 		}
+		used = count * 8
 	default:
 		return fmt.Errorf("serve: unknown response op %d", buf[2])
 	}
+	decodeRespTrailer(payload[used:], resp)
 	return nil
+}
+
+// decodeRespTrailer parses the optional id-echo + stage-nanos trailer.
+// Anything that is not exactly one trailer is ignored: old servers send
+// none, and clients that never sent an id tolerate whatever a future
+// server might append.
+func decodeRespTrailer(tail []byte, resp *Response) {
+	if len(tail) != respTrailerLen {
+		return
+	}
+	resp.ID = le.Uint64(tail)
+	for s := 0; s < NumStages; s++ {
+		resp.StageNanos[s] = int64(le.Uint64(tail[8+s*8:]))
+	}
 }

@@ -75,13 +75,16 @@ func (x *Index) KNNBatch(queries []geom.Point, k int) [][]core.Neighbor {
 	}
 	rec := x.cfg.Obs
 	rec.BeginOp("knn")
+	x.fanBegin("knn", len(queries))
 
 	// Phase 1: home-shard candidates.
 	flat, idx, offs := x.route(queries)
 	x.chargeRoute(len(queries))
 	homeRes := make([][][]core.Neighbor, len(x.sh))
 	x.forEach(flat, offs, func(s int, seg []geom.Point) {
-		homeRes[s] = knnTree(x.sh[s].tree, seg, k)
+		x.fanShard(s, len(seg), func() {
+			homeRes[s] = knnTree(x.sh[s].tree, seg, k)
+		})
 	})
 	x.mergeWindows()
 
@@ -94,6 +97,7 @@ func (x *Index) KNNBatch(queries []geom.Point, k int) [][]core.Neighbor {
 			qi := idx[offs[s]+j]
 			cands[qi] = append(cands[qi], r...)
 			home[qi] = int32(s)
+			x.fanQuery(int(qi))
 			if len(r) >= k {
 				bound[qi] = r[k-1].Dist
 			} else {
@@ -119,6 +123,9 @@ func (x *Index) KNNBatch(queries []geom.Point, k int) [][]core.Neighbor {
 				subQ[s] = append(subQ[s], q)
 				subIdx[s] = append(subIdx[s], int32(i))
 				subCap[s] = append(subCap[s], bound[i])
+				x.fanQuery(i)
+			} else {
+				x.fanPrune(1)
 			}
 		}
 	}
@@ -126,10 +133,13 @@ func (x *Index) KNNBatch(queries []geom.Point, k int) [][]core.Neighbor {
 		// Bound derivation + the block-box distance tests on the host.
 		x.router.CPUPhase(int64(boxTests)*int64(x.cfg.Dims)*3, 0, 0)
 	}
+	x.fanTest(boxTests)
 	farRes := make([][][]core.Neighbor, len(x.sh))
 	parallel.For(len(x.sh), func(s int) {
 		if len(subQ[s]) > 0 {
-			farRes[s] = knnTreeWithin(x.sh[s].tree, subQ[s], k, subCap[s])
+			x.fanShard(s, len(subQ[s]), func() {
+				farRes[s] = knnTreeWithin(x.sh[s].tree, subQ[s], k, subCap[s])
+			})
 		}
 	})
 	x.mergeWindows()
@@ -155,6 +165,7 @@ func (x *Index) KNNBatch(queries []geom.Point, k int) [][]core.Neighbor {
 		x.router.CPUPhase(int64(merged)*int64(x.cfg.Dims+4), int64(merged)*knnMsgBytes, 0)
 	}
 	rec.EndOp()
+	x.fanFinish()
 	return out
 }
 

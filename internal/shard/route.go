@@ -136,19 +136,25 @@ func (x *Index) SearchBatch(pts []geom.Point) []bool {
 	}
 	rec := x.cfg.Obs
 	rec.BeginOp("search")
+	x.fanBegin("search", len(pts))
 	flat, idx, offs := x.route(pts)
 	x.chargeRoute(len(pts))
 	results := make([][]bool, len(x.sh))
 	x.forEach(flat, offs, func(s int, seg []geom.Point) {
-		results[s] = searchTree(x.sh[s].tree, seg)
+		x.fanShard(s, len(seg), func() {
+			results[s] = searchTree(x.sh[s].tree, seg)
+		})
 	})
 	x.mergeWindows()
 	rec.EndOp()
 	for s, r := range results {
 		for j, v := range r {
-			out[idx[offs[s]+j]] = v
+			qi := idx[offs[s]+j]
+			out[qi] = v
+			x.fanQuery(int(qi))
 		}
 	}
+	x.fanFinish()
 	return out
 }
 
@@ -167,13 +173,17 @@ func (x *Index) InsertBatch(pts []geom.Point) {
 	if len(pts) > 0 {
 		rec := x.cfg.Obs
 		rec.BeginOp("insert")
+		x.fanBegin("insert", len(pts))
 		flat, _, offs := x.route(pts)
 		x.chargeRoute(len(pts))
 		x.forEach(flat, offs, func(s int, seg []geom.Point) {
-			x.sh[s].tree.Insert(seg)
+			x.fanShard(s, len(seg), func() {
+				x.sh[s].tree.Insert(seg)
+			})
 		})
 		x.mergeWindows()
 		rec.EndOp()
+		x.fanUpdateDone()
 	}
 	x.maybeRebalance()
 	x.epoch.Add(1)
@@ -194,13 +204,17 @@ func (x *Index) DeleteBatch(pts []geom.Point) {
 	if len(pts) > 0 {
 		rec := x.cfg.Obs
 		rec.BeginOp("delete")
+		x.fanBegin("delete", len(pts))
 		flat, _, offs := x.route(pts)
 		x.chargeRoute(len(pts))
 		x.forEach(flat, offs, func(s int, seg []geom.Point) {
-			x.sh[s].tree.Delete(seg)
+			x.fanShard(s, len(seg), func() {
+				x.sh[s].tree.Delete(seg)
+			})
 		})
 		x.mergeWindows()
 		rec.EndOp()
+		x.fanUpdateDone()
 	}
 	x.maybeRebalance()
 	x.epoch.Add(1)
@@ -233,13 +247,21 @@ func (x *Index) BoxCountBatch(boxes []geom.Box) []int64 {
 	}
 	rec := x.cfg.Obs
 	rec.BeginOp("box-count")
+	x.fanBegin("box", len(boxes))
 	subBoxes := make([][]geom.Box, len(x.sh))
 	subIdx := make([][]int32, len(x.sh))
 	for i, b := range boxes {
 		for s, sh := range x.sh {
-			if sh.tree.Size() > 0 && sh.intersects(b) {
+			if sh.tree.Size() == 0 {
+				continue
+			}
+			x.fanTest(1)
+			if sh.intersects(b) {
 				subBoxes[s] = append(subBoxes[s], b)
 				subIdx[s] = append(subIdx[s], int32(i))
+				x.fanQuery(i)
+			} else {
+				x.fanPrune(1)
 			}
 		}
 	}
@@ -250,17 +272,28 @@ func (x *Index) BoxCountBatch(boxes []geom.Box) []int64 {
 	counts := make([][]int64, len(x.sh))
 	parallel.For(len(x.sh), func(s int) {
 		if len(subBoxes[s]) > 0 {
-			counts[s] = boxCountTree(x.sh[s].tree, subBoxes[s])
+			x.fanShard(s, len(subBoxes[s]), func() {
+				counts[s] = boxCountTree(x.sh[s].tree, subBoxes[s])
+			})
 		}
 	})
 	x.mergeWindows()
 	rec.EndOp()
+	x.fanFinish()
 	for s, cs := range counts {
 		for j, c := range cs {
 			out[subIdx[s][j]] += c
 		}
 	}
 	return out
+}
+
+// ShardOf returns the index of the shard owning a point's Morton key
+// under the current cuts — exposed for fan-out attribution tests.
+func (x *Index) ShardOf(p geom.Point) int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return findShard(x.cuts, morton.EncodePoint(p))
 }
 
 // BoxCover returns the shard indices a query box fans out to — exposed

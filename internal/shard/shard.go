@@ -159,6 +159,9 @@ type Index struct {
 	offs       []int
 	scatterPts []geom.Point
 	scatterIdx []int32
+
+	// fan captures per-batch cross-shard fan-out spans (see fanout.go).
+	fan fanState
 }
 
 // New builds a sharded index over the warmup points. Cut keys come from

@@ -13,6 +13,10 @@
 //	                              # ordered by trace, records internally
 //	                              # consistent (non-negative counters,
 //	                              # straggler >= -1, rounds match detail)
+//	checkjson -slo file.json      # /snapshot/slo dump: format id,
+//	                              # objectives sorted by op, windows in
+//	                              # 1m/5m/1h order, bad <= total, and the
+//	                              # burn-rate identity burn = err/(1-target)
 //	checkjson -diff old.json new.json [-threshold pct] [-panels a,b]
 //	                              # perf-regression gate between two
 //	                              # -bench-json reports: fail when any
@@ -43,6 +47,7 @@ func main() {
 		bench     = flag.String("bench", "", "validate a pimzd-bench -bench-json perf report")
 		promtext  = flag.String("promtext", "", "lint a Prometheus text exposition file")
 		flight    = flag.String("flight", "", "validate a flight-recorder dump (pimzd-serve/-bench -flight-out)")
+		slo       = flag.String("slo", "", "validate an SLO snapshot (pimzd-serve /snapshot/slo)")
 		diffMode  = flag.Bool("diff", false, "diff two -bench-json reports: checkjson -diff old.json new.json")
 		threshold = flag.Float64("threshold", 10, "with -diff, regression threshold in percent")
 		panels    = flag.String("panels", "", "with -diff, comma-separated allowlist of panel ids to compare (default: all)")
@@ -69,6 +74,10 @@ func main() {
 		if err := checkFlight(*flight); err != nil {
 			fail(*flight, err)
 		}
+	case *slo != "":
+		if err := checkSLO(*slo); err != nil {
+			fail(*slo, err)
+		}
 	case *diffMode:
 		paths, err := diffArgs(flag.Args(), threshold, panels)
 		if err != nil {
@@ -79,7 +88,7 @@ func main() {
 			fail(paths[1], err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl | -bench file.json | -promtext file.txt | -flight file.json | -diff old.json new.json [-threshold pct] [-panels a,b]")
+		fmt.Fprintln(os.Stderr, "usage: checkjson -chrome file.json | -jsonl file.jsonl | -bench file.json | -promtext file.txt | -flight file.json | -slo file.json | -diff old.json new.json [-threshold pct] [-panels a,b]")
 		os.Exit(2)
 	}
 }
@@ -256,6 +265,88 @@ func checkFlight(path string) error {
 		}
 	}
 	return nil
+}
+
+// checkSLO validates a /snapshot/slo dump: schema version, objective
+// ordering, window identity (the fixed 1m/5m/1h ladder), and the
+// burn-rate arithmetic each row claims.
+func checkSLO(path string) error {
+	fd, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	s, err := metrics.ReadSLOSnapshot(fd)
+	if err != nil {
+		return err
+	}
+	if s.Format != metrics.SLODumpFormat {
+		return fmt.Errorf("format %q, want %q", s.Format, metrics.SLODumpFormat)
+	}
+	wantWindows := []string{"1m", "5m", "1h"}
+	prevOp := ""
+	for i, obj := range s.Objectives {
+		if obj.Op == "" {
+			return fmt.Errorf("objective[%d]: empty op", i)
+		}
+		if obj.Op <= prevOp {
+			return fmt.Errorf("objective[%d]: op %q not sorted after %q", i, obj.Op, prevOp)
+		}
+		prevOp = obj.Op
+		if obj.LatencySeconds <= 0 {
+			return fmt.Errorf("%s: non-positive latency objective %g", obj.Op, obj.LatencySeconds)
+		}
+		if obj.Target <= 0 || obj.Target >= 1 {
+			return fmt.Errorf("%s: target %g outside (0, 1)", obj.Op, obj.Target)
+		}
+		if obj.Bad > obj.Total {
+			return fmt.Errorf("%s: all-time bad %d > total %d", obj.Op, obj.Bad, obj.Total)
+		}
+		if len(obj.Windows) != len(wantWindows) {
+			return fmt.Errorf("%s: %d windows, want %d", obj.Op, len(obj.Windows), len(wantWindows))
+		}
+		for w, ws := range obj.Windows {
+			if ws.Window != wantWindows[w] {
+				return fmt.Errorf("%s: window[%d] %q, want %q", obj.Op, w, ws.Window, wantWindows[w])
+			}
+			if ws.Bad > ws.Total {
+				return fmt.Errorf("%s/%s: bad %d > total %d", obj.Op, ws.Window, ws.Bad, ws.Total)
+			}
+			if ws.Total > obj.Total {
+				return fmt.Errorf("%s/%s: window total %d > all-time total %d", obj.Op, ws.Window, ws.Total, obj.Total)
+			}
+			wantErr := 0.0
+			if ws.Total > 0 {
+				wantErr = float64(ws.Bad) / float64(ws.Total)
+			}
+			if !approxEq(ws.ErrorRate, wantErr) {
+				return fmt.Errorf("%s/%s: error rate %g, want %g", obj.Op, ws.Window, ws.ErrorRate, wantErr)
+			}
+			if !approxEq(ws.BurnRate, ws.ErrorRate/(1-obj.Target)) {
+				return fmt.Errorf("%s/%s: burn rate %g violates err/(1-target)", obj.Op, ws.Window, ws.BurnRate)
+			}
+			if !approxEq(ws.BudgetRemaining, 1-ws.BurnRate) {
+				return fmt.Errorf("%s/%s: budget remaining %g, want 1-burn", obj.Op, ws.Window, ws.BudgetRemaining)
+			}
+		}
+	}
+	return nil
+}
+
+// approxEq tolerates JSON round-trip float noise.
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := 1.0
+	if b > 1 || b < -1 {
+		scale = b
+		if scale < 0 {
+			scale = -scale
+		}
+	}
+	return d <= 1e-9*scale
 }
 
 // checkOpRecord validates one per-op record's internal consistency.
